@@ -1,0 +1,19 @@
+//! Offline profilers over workload traces, reproducing the paper's
+//! motivation studies: the write-distance distribution (Fig. 3), the
+//! clean-byte percentage among updated data (Fig. 5), and the DLDC pattern
+//! coverage of dirty log data (Table II).
+//!
+//! The originals instrument WHISPER applications with PIN on a Xeon server;
+//! here the same statistics are computed from the transactional store
+//! streams of `morlog-workloads` (see `DESIGN.md` §2 for the substitution
+//! argument).
+
+#![deny(missing_docs)]
+
+pub mod clean_bytes;
+pub mod patterns;
+pub mod write_distance;
+
+pub use clean_bytes::CleanByteStats;
+pub use patterns::PatternStats;
+pub use write_distance::{DistanceBucket, WriteDistanceHistogram};

@@ -1,0 +1,51 @@
+//! Criterion end-to-end benchmarks: simulated-cycles-per-host-second for a
+//! small run of each design, plus recovery throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use morlog_sim::System;
+use morlog_sim_core::{DesignKind, SystemConfig};
+use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.sample_size(10);
+    for design in [DesignKind::FwbCrade, DesignKind::MorLogSlde, DesignKind::MorLogDp] {
+        let cfg = SystemConfig::for_design(design);
+        let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+        wl.total_transactions = 200;
+        let trace = generate(WorkloadKind::Tpcc, &wl);
+        group.bench_function(format!("tpcc_200tx/{}", design.label()), |b| {
+            b.iter_batched(
+                || System::new(cfg.clone(), &trace),
+                |mut sys| sys.run(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let cfg = SystemConfig::for_design(DesignKind::MorLogDp);
+    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+    wl.total_transactions = 200;
+    let trace = generate(WorkloadKind::Tpcc, &wl);
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    group.bench_function("crash_recover_tpcc_200tx", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::new(cfg.clone(), &trace);
+                sys.run_for(30_000);
+                sys.crash();
+                sys
+            },
+            |mut sys| sys.recover(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_recovery);
+criterion_main!(benches);

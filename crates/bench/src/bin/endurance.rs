@@ -1,0 +1,44 @@
+//! Endurance view (§VI-C): hottest data line and log slot per design —
+//! reducing log writes improves lifetime, and the ring levels log wear.
+use morlog_sim::System;
+use morlog_sim_core::{DesignKind, SystemConfig};
+use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let txs = morlog_bench::scaled_txs(1_500);
+    println!("Endurance — max per-location program counts (Queue, {txs} txs)");
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>10} {:>8}",
+        "design", "max data line", "max log slot", "locations", "log writes", "growths"
+    );
+    for design in DesignKind::ALL {
+        let mut cfg = SystemConfig::for_design(design);
+        // Frequent scans persist data (data-line wear becomes visible) and
+        // a small ring forces slot reuse (log wear leveling becomes
+        // visible).
+        cfg.hierarchy.force_write_back_period = 20_000;
+        cfg.mem.log_region_bytes = 96 * 1024;
+        // Continuous (transaction-table) truncation lets the small ring
+        // wrap in place, making slot reuse — and its even wear — visible.
+        cfg.log.truncation = morlog_sim_core::config::TruncationPolicy::TransactionTable;
+        let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+        wl.threads = 4;
+        wl.total_transactions = txs;
+        let trace = generate(WorkloadKind::Queue, &wl);
+        let mut sys = System::new(cfg, &trace);
+        let stats = sys.run();
+        let (max_data, max_log, locations) = sys.memory().wear_summary();
+        println!(
+            "{:<14} {:>14} {:>14} {:>12} {:>10} {:>8}",
+            design.label(),
+            max_data,
+            max_log,
+            locations,
+            stats.mem.log_writes,
+            stats.mem.log_overflow_growths
+        );
+    }
+    println!("\nSLDE designs touch fewer log locations for the same work: fewer writes");
+    println!("means longer lifetime (§VI-C). The ring appends sequentially, so log wear");
+    println!("is level by construction (max slot count stays minimal even under reuse).");
+}

@@ -1,0 +1,35 @@
+//! Fig. 3: distribution of write distance for writes in transactions.
+use morlog_analysis::write_distance::{DistanceBucket, WriteDistanceHistogram};
+use morlog_bench::scaled_txs;
+use morlog_sim::System;
+use morlog_sim_core::{DesignKind, SystemConfig};
+use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let txs = scaled_txs(2_000);
+    println!("Fig. 3 — write-distance distribution ({txs} transactions per workload)");
+    print!("{:<10}", "workload");
+    for b in DistanceBucket::ALL {
+        print!(" {:>11}", b.label());
+    }
+    println!(" {:>8} {:>8}", ">31(nf)", "repeat");
+    let cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+    for kind in WorkloadKind::ALL {
+        let wl = WorkloadConfig {
+            threads: kind.default_threads(),
+            total_transactions: txs,
+            dataset: morlog_workloads::DatasetSize::Small,
+            seed: 42,
+            data_base: System::data_base(&cfg),
+        };
+        let trace = generate(kind, &wl);
+        let h = WriteDistanceHistogram::profile(&trace);
+        print!("{:<10}", kind.label());
+        for b in DistanceBucket::ALL {
+            print!(" {:>10.1}%", h.fraction(b) * 100.0);
+        }
+        println!(" {:>7.1}% {:>7.1}%", h.fraction_beyond_31() * 100.0, h.fraction_repeat() * 100.0);
+    }
+    println!("\npaper: 44.8% of non-first writes have distance > 31; 83.1% of data");
+    println!("are updated more than once in a transaction (WHISPER apps under PIN).");
+}

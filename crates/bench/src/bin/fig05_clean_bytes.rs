@@ -1,0 +1,35 @@
+//! Fig. 5: percentage of clean bytes among the data updated by transactions.
+use morlog_analysis::clean_bytes::CleanByteStats;
+use morlog_bench::scaled_txs;
+use morlog_sim::System;
+use morlog_sim_core::{DesignKind, SystemConfig};
+use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let txs = scaled_txs(2_000);
+    println!("Fig. 5 — clean bytes among updated data ({txs} transactions per workload)");
+    println!("{:<10} {:>12} {:>14}", "workload", "clean bytes", "silent stores");
+    let cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+    let mut fractions = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let wl = WorkloadConfig {
+            threads: kind.default_threads(),
+            total_transactions: txs,
+            dataset: morlog_workloads::DatasetSize::Small,
+            seed: 42,
+            data_base: System::data_base(&cfg),
+        };
+        let trace = generate(kind, &wl);
+        let s = CleanByteStats::profile(&trace);
+        fractions.push(s.clean_fraction());
+        println!(
+            "{:<10} {:>11.1}% {:>13.1}%",
+            kind.label(),
+            s.clean_fraction() * 100.0,
+            s.silent_fraction() * 100.0
+        );
+    }
+    let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    println!("{:<10} {:>11.1}%", "average", avg * 100.0);
+    println!("\npaper: 70.5% of bytes among the data updated by transactions are clean.");
+}

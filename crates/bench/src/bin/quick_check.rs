@@ -1,0 +1,55 @@
+//! Quick sanity harness: per-design throughput/traffic/energy on one workload.
+use morlog_sim::System;
+use morlog_sim_core::{DesignKind, SystemConfig};
+use morlog_workloads::{generate, DatasetSize, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let txs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let kind = match args.get(2).map(|s| s.as_str()) {
+        Some("tpcc") => WorkloadKind::Tpcc,
+        Some("hash") => WorkloadKind::Hash,
+        Some("queue") => WorkloadKind::Queue,
+        Some("btree") => WorkloadKind::BTree,
+        Some("sps") => WorkloadKind::Sps,
+        Some("echo") => WorkloadKind::Echo,
+        _ => WorkloadKind::Hash,
+    };
+    let large = args.get(3).map(|s| s == "large").unwrap_or(false);
+    let mut base_tput = 0.0;
+    let mut base_writes = 0u64;
+    let mut base_energy = 0.0;
+    for design in DesignKind::ALL {
+        let cfg = SystemConfig::for_design(design);
+        let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+        wl.threads = kind.default_threads();
+        wl.total_transactions = txs;
+        wl.dataset = if large { DatasetSize::Large } else { DatasetSize::Small };
+        let trace = generate(kind, &wl);
+        let t0 = std::time::Instant::now();
+        let mut sys = System::new(cfg.clone(), &trace);
+        let stats = sys.run();
+        let tput = stats.tx_per_second(cfg.cores.frequency);
+        if design == DesignKind::FwbCrade {
+            base_tput = tput;
+            base_writes = stats.mem.nvmm_writes;
+            base_energy = stats.mem.write_energy_pj;
+        }
+        println!(
+            "{:14} tput {:>8.3}x writes {:>6.3}x energy {:>6.3}x | cycles {:>10} entries {:>7} redo_cr {:>6} postc {:>6} coalesced {:>6} redo_disc {:>6} commit_stall {:>9} buf_stall {:>8} [{:?} host]",
+            design.label(),
+            tput / base_tput,
+            stats.mem.nvmm_writes as f64 / base_writes as f64,
+            stats.mem.write_energy_pj / base_energy,
+            stats.cycles,
+            stats.log.entries_written,
+            stats.log.redo_created,
+            stats.log.post_commit_redo,
+            stats.log.coalesced,
+            stats.log.redo_discarded,
+            stats.log.commit_stall_cycles,
+            stats.log.buffer_full_stall_cycles,
+            t0.elapsed(),
+        );
+    }
+}

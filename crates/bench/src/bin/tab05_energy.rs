@@ -1,0 +1,32 @@
+//! Table V: NVMM write-energy reduction vs FWB-CRADE (micro-benchmark
+//! average, small and large datasets).
+use morlog_bench::{run_all_designs, scaled_txs, RunSpec};
+use morlog_sim_core::DesignKind;
+use morlog_workloads::WorkloadKind;
+
+fn main() {
+    println!("Table V — NVMM write-energy reduction vs FWB-CRADE (micro average)");
+    println!(
+        "{:<8} {:>11} {:>10} {:>13} {:>12} {:>10}",
+        "dataset", "FWB-Unsafe", "FWB-SLDE", "MorLog-CRADE", "MorLog-SLDE", "MorLog-DP"
+    );
+    for (label, large, txs) in [("Small", false, scaled_txs(2_000)), ("Large", true, scaled_txs(400))] {
+        let mut sums = vec![0.0f64; DesignKind::ALL.len()];
+        for kind in WorkloadKind::MICRO {
+            let mut spec = RunSpec::new(DesignKind::FwbCrade, kind, txs);
+            if large {
+                spec = spec.large();
+            }
+            let reports = run_all_designs(&spec);
+            for (d, r) in reports.iter().enumerate() {
+                sums[d] += r.energy_reduction_pct(&reports[0]) / WorkloadKind::MICRO.len() as f64;
+            }
+        }
+        println!(
+            "{:<8} {:>10.1}% {:>9.1}% {:>12.1}% {:>11.1}% {:>9.1}%",
+            label, sums[1], sums[2], sums[3], sums[4], sums[5]
+        );
+    }
+    println!("\npaper:   Small: 0.6% / 39.5% / 2.1% / 43.7% / 45.9%");
+    println!("         Large: 1.6% / 30.3% / 4.3% / 34.6% / 36.0%");
+}

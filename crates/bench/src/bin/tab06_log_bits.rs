@@ -1,0 +1,33 @@
+//! Table VI: log-bit reduction vs FWB-CRADE with expansion coding disabled
+//! (expansion may increase the number of bits written, so the endurance
+//! study counts raw bits).
+use morlog_bench::{run_all_designs, scaled_txs, RunSpec};
+use morlog_sim_core::DesignKind;
+use morlog_workloads::WorkloadKind;
+
+fn main() {
+    println!("Table VI — log-bit reduction vs FWB-CRADE, expansion coding disabled");
+    println!(
+        "{:<8} {:>11} {:>10} {:>13} {:>12} {:>10}",
+        "dataset", "FWB-Unsafe", "FWB-SLDE", "MorLog-CRADE", "MorLog-SLDE", "MorLog-DP"
+    );
+    for (label, large, txs) in [("Small", false, scaled_txs(2_000)), ("Large", true, scaled_txs(400))] {
+        let mut sums = vec![0.0f64; DesignKind::ALL.len()];
+        for kind in WorkloadKind::MICRO {
+            let mut spec = RunSpec::new(DesignKind::FwbCrade, kind, txs).no_expansion();
+            if large {
+                spec = spec.large();
+            }
+            let reports = run_all_designs(&spec);
+            for (d, r) in reports.iter().enumerate() {
+                sums[d] += r.log_bit_reduction_pct(&reports[0]) / WorkloadKind::MICRO.len() as f64;
+            }
+        }
+        println!(
+            "{:<8} {:>10.1}% {:>9.1}% {:>12.1}% {:>11.1}% {:>9.1}%",
+            label, sums[1], sums[2], sums[3], sums[4], sums[5]
+        );
+    }
+    println!("\npaper:   Small: 10.4% / 41.6% / 16.0% / 57.1% / 59.5%");
+    println!("         Large:  4.2% / 33.7% /  9.9% / 43.5% / 45.8%");
+}

@@ -1,0 +1,145 @@
+//! Shared harness for regenerating every table and figure of the paper's
+//! evaluation (§VI). Each `src/bin/*` binary prints one table/figure; this
+//! library holds the common runner.
+//!
+//! Run sizes default to values that complete in minutes on a laptop and can
+//! be scaled with the `MORLOG_TXS` environment variable (the paper runs
+//! 100 K transactions per workload; the shapes are stable well below that).
+
+#![deny(missing_docs)]
+
+use morlog_sim::{RunReport, System};
+use morlog_sim_core::{DesignKind, SystemConfig};
+use morlog_workloads::{generate, DatasetSize, WorkloadConfig, WorkloadKind};
+
+/// Scales a default transaction count by the `MORLOG_TXS` override.
+pub fn scaled_txs(default: usize) -> usize {
+    match std::env::var("MORLOG_TXS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => n,
+        None => default,
+    }
+}
+
+/// Parameters of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Logging design.
+    pub design: DesignKind,
+    /// Benchmark.
+    pub kind: WorkloadKind,
+    /// Dataset size.
+    pub dataset: DatasetSize,
+    /// Worker threads (0 = the paper's default for the benchmark).
+    pub threads: usize,
+    /// Total transactions.
+    pub transactions: usize,
+    /// Expansion coding enabled (Table VI turns it off).
+    pub expansion: bool,
+    /// System-configuration tweak applied after defaults.
+    pub tweak: Option<fn(&mut SystemConfig)>,
+}
+
+impl RunSpec {
+    /// A paper-default run of `kind` under `design`.
+    pub fn new(design: DesignKind, kind: WorkloadKind, transactions: usize) -> Self {
+        RunSpec {
+            design,
+            kind,
+            dataset: DatasetSize::Small,
+            threads: 0,
+            transactions,
+            expansion: true,
+            tweak: None,
+        }
+    }
+
+    /// Selects the large (4 KB) dataset.
+    pub fn large(mut self) -> Self {
+        self.dataset = DatasetSize::Large;
+        self
+    }
+
+    /// Overrides the thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Disables expansion coding.
+    pub fn no_expansion(mut self) -> Self {
+        self.expansion = false;
+        self
+    }
+
+    /// Applies a configuration tweak (buffer sizes, latency scale, ...).
+    pub fn tweak(mut self, f: fn(&mut SystemConfig)) -> Self {
+        self.tweak = Some(f);
+        self
+    }
+
+    /// Workload label with the dataset suffix (Fig. 14 style).
+    pub fn label(&self) -> String {
+        if self.kind == WorkloadKind::Tpcc {
+            self.kind.label().to_string()
+        } else {
+            format!("{}-{}", self.kind.label(), self.dataset.label())
+        }
+    }
+}
+
+/// Executes one run and returns its report.
+pub fn run(spec: &RunSpec) -> RunReport {
+    let mut cfg = SystemConfig::for_design(spec.design);
+    if let Some(tweak) = spec.tweak {
+        tweak(&mut cfg);
+    }
+    let threads = if spec.threads == 0 { spec.kind.default_threads() } else { spec.threads };
+    let wl = WorkloadConfig {
+        threads: threads.min(cfg.cores.cores),
+        total_transactions: spec.transactions,
+        dataset: spec.dataset,
+        seed: 42,
+        data_base: System::data_base(&cfg),
+    };
+    let trace = generate(spec.kind, &wl);
+    let mut sys = System::with_expansion(cfg.clone(), &trace, spec.expansion);
+    let stats = sys.run();
+    RunReport {
+        design: spec.design,
+        workload: spec.label(),
+        stats,
+        frequency: cfg.cores.frequency,
+    }
+}
+
+/// Runs all six designs on one spec, returning reports in
+/// [`DesignKind::ALL`] order (index 0 is the FWB-CRADE baseline).
+pub fn run_all_designs(base: &RunSpec) -> Vec<RunReport> {
+    DesignKind::ALL
+        .iter()
+        .map(|&design| {
+            let mut spec = base.clone();
+            spec.design = design;
+            run(&spec)
+        })
+        .collect()
+}
+
+/// Prints a normalized-metric table row per design (Fig. 12/13/14 bars).
+pub fn print_normalized_rows(workload: &str, reports: &[RunReport]) {
+    let baseline = &reports[0];
+    print!("{workload:<14}");
+    for r in reports {
+        print!(" {:>12.3}", r.normalized_throughput(baseline));
+    }
+    println!();
+}
+
+/// Prints the header line for design columns.
+pub fn print_design_header(first_col: &str) {
+    print!("{first_col:<14}");
+    for d in DesignKind::ALL {
+        print!(" {:>12}", d.label());
+    }
+    println!();
+}

@@ -1,0 +1,76 @@
+//! The CRADE baseline codec \[61\]: FPC compression followed by
+//! compression-ratio-aware expansion coding, with no awareness of log data.
+//!
+//! CRADE is the "existing coding mechanism" every FWB-* and MorLog-CRADE
+//! configuration in the evaluation uses. It is implemented by
+//! [`SldeCodec`] with the DLDC path disabled; this module provides the
+//! conventionally named constructor plus CRADE-specific tests.
+
+use crate::cell::CellModel;
+use crate::slde::SldeCodec;
+
+/// Constructor alias for the CRADE configuration of the codec.
+///
+/// # Example
+///
+/// ```
+/// use morlog_encoding::{cell::CellModel, crade::CradeCodec};
+/// let codec = CradeCodec::new(CellModel::table_iii());
+/// assert!(!codec.dldc_enabled());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CradeCodec;
+
+impl CradeCodec {
+    /// Builds an [`SldeCodec`] configured as the CRADE baseline.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(model: CellModel) -> SldeCodec {
+        SldeCodec::crade(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::ExpansionMode;
+    use crate::slde::LogWordRequest;
+    use morlog_sim_core::LineData;
+
+    #[test]
+    fn crade_compresses_and_expands() {
+        let codec = CradeCodec::new(CellModel::table_iii());
+        let mut line = LineData::zeroed();
+        for i in 0..8 {
+            line.set_word(i, i as u64); // small integers, highly compressible
+        }
+        let region = codec.encode_data_block(&line);
+        // Small integers compress far enough for the widest expansion.
+        for seg in &region.segments {
+            assert_eq!(seg.mode, ExpansionMode::Idm1);
+        }
+        assert_eq!(codec.decode_data_block(&region), line);
+    }
+
+    #[test]
+    fn crade_log_entry_keeps_fpc_for_log_data() {
+        let codec = CradeCodec::new(CellModel::table_iii());
+        let old = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let new = 0xAAAA_AAAA_AAAA_AAABu64; // 1 dirty byte: DLDC would win, CRADE cannot
+        let region = codec.encode_log_entry(&[], &[LogWordRequest::redo(new, old)], 1, 96);
+        assert!(region.choices.iter().all(|&c| c == crate::slde::EncodingChoice::Fpc));
+        let (_, d) = codec.decode_log_entry(&region, 0, &[true], &[old]);
+        assert_eq!(d, vec![new]);
+    }
+
+    #[test]
+    fn fig4_example_sizes() {
+        // Fig. 4(b): undo 0xFFFFFFFFABCDEFFF and redo 0xFFFFFFFFABCDF000 both
+        // FPC-compress to tag+32 bits under CRADE.
+        let codec = CradeCodec::new(CellModel::table_iii());
+        let undo = codec.encode_log_word(&LogWordRequest::redo(
+            0xFFFF_FFFF_ABCD_EFFF,
+            0xFFFF_FFFF_ABCD_F000,
+        ));
+        assert_eq!(undo.payload_bits, 2 + 3 + 32); // choice flag + FPC tag + payload
+    }
+}

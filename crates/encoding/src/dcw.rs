@@ -1,0 +1,170 @@
+//! Data-comparison write (DCW, Yang et al. \[62\]).
+//!
+//! NVM writes are preceded by a read of the target cells; only cells whose
+//! stored state differs from the target state are programmed. Because cells
+//! are programmed in parallel, the write latency of a block is the *maximum*
+//! latency over the programmed cells, while the energy is the *sum*.
+
+use morlog_sim_core::{NanoSeconds, PicoJoules};
+
+use crate::cell::{CellModel, CellState, BITS_PER_CELL};
+
+/// The outcome of programming a cell vector under DCW.
+///
+/// # Example
+///
+/// ```
+/// use morlog_encoding::{cell::CellModel, dcw::write_cost, CellState};
+/// let m = CellModel::table_iii();
+/// let old = [CellState::new(0); 4];
+/// let new = [CellState::new(0), CellState::new(7), CellState::new(0), CellState::new(7)];
+/// let cost = write_cost(&m, &old, &new, 3);
+/// assert_eq!(cost.cells_programmed, 2);      // two cells changed
+/// assert!((cost.latency.as_f64() - 12.1).abs() < 1e-9); // programming 111
+/// assert!(!cost.is_silent());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WriteCost {
+    /// Program latency of the write (max over programmed cells); zero for a
+    /// silent write.
+    pub latency: NanoSeconds,
+    /// Total program energy (sum over programmed cells).
+    pub energy: PicoJoules,
+    /// Number of cells whose state changed.
+    pub cells_programmed: u64,
+    /// Bits programmed: `cells_programmed ×` bits-per-cell of the mapping in
+    /// effect. This is the metric of Table VI.
+    pub bits_programmed: u64,
+}
+
+impl WriteCost {
+    /// A write where DCW found no modified cell.
+    pub fn silent() -> Self {
+        WriteCost::default()
+    }
+
+    /// Returns `true` when no cell needs programming ("silent write").
+    pub fn is_silent(&self) -> bool {
+        self.cells_programmed == 0
+    }
+
+    /// Accumulates another cost into this one, as when one logical write is
+    /// split across several encoded regions programmed in parallel.
+    pub fn combine(&mut self, other: &WriteCost) {
+        self.latency = self.latency.max(other.latency);
+        self.energy += other.energy;
+        self.cells_programmed += other.cells_programmed;
+        self.bits_programmed += other.bits_programmed;
+    }
+}
+
+/// Computes the DCW cost of replacing `old` cell states with `new` ones.
+///
+/// `bits_per_cell` is the density of the mapping used for these cells: 3 for
+/// a full TLC mapping, 2 or 1 under incomplete data mappings. It only affects
+/// the `bits_programmed` accounting; latency and energy depend solely on the
+/// target states.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `bits_per_cell` is not in
+/// `1..=3`.
+pub fn write_cost(
+    model: &CellModel,
+    old: &[CellState],
+    new: &[CellState],
+    bits_per_cell: usize,
+) -> WriteCost {
+    assert_eq!(old.len(), new.len(), "DCW compares equal-length cell vectors");
+    assert!(
+        (1..=BITS_PER_CELL).contains(&bits_per_cell),
+        "bits_per_cell {bits_per_cell} out of range"
+    );
+    let mut cost = WriteCost::silent();
+    for (&o, &n) in old.iter().zip(new.iter()) {
+        if o != n {
+            cost.latency = cost.latency.max(model.write_latency(n));
+            cost.energy += model.write_energy(n);
+            cost.cells_programmed += 1;
+        }
+    }
+    cost.bits_programmed = cost.cells_programmed * bits_per_cell as u64;
+    cost
+}
+
+/// Counts flipped *bits* between two equal-length state vectors (used by
+/// bit-level traffic statistics and tests).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn bit_flips(old: &[CellState], new: &[CellState]) -> u64 {
+    assert_eq!(old.len(), new.len());
+    old.iter().zip(new.iter()).map(|(o, n)| (o.bits() ^ n.bits()).count_ones() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u8) -> CellState {
+        CellState::new(v)
+    }
+
+    #[test]
+    fn identical_vectors_are_silent() {
+        let m = CellModel::table_iii();
+        let v = [s(1), s(2), s(3)];
+        let cost = write_cost(&m, &v, &v, 3);
+        assert!(cost.is_silent());
+        assert_eq!(cost.bits_programmed, 0);
+        assert_eq!(cost.energy, PicoJoules::zero());
+    }
+
+    #[test]
+    fn latency_is_max_energy_is_sum() {
+        let m = CellModel::table_iii();
+        let old = [s(0), s(0), s(0)];
+        let new = [s(0b100), s(0b111), s(0)]; // 150 ns/35.6 pJ and 12.1 ns/1.5 pJ
+        let cost = write_cost(&m, &old, &new, 3);
+        assert_eq!(cost.cells_programmed, 2);
+        assert!((cost.latency.as_f64() - 150.0).abs() < 1e-9);
+        assert!((cost.energy.as_f64() - 37.1).abs() < 1e-9);
+        assert_eq!(cost.bits_programmed, 6);
+    }
+
+    #[test]
+    fn bits_programmed_uses_mapping_density() {
+        let m = CellModel::table_iii();
+        let old = [s(0), s(0)];
+        let new = [s(7), s(7)];
+        assert_eq!(write_cost(&m, &old, &new, 1).bits_programmed, 2);
+        assert_eq!(write_cost(&m, &old, &new, 2).bits_programmed, 4);
+        assert_eq!(write_cost(&m, &old, &new, 3).bits_programmed, 6);
+    }
+
+    #[test]
+    fn combine_takes_max_latency() {
+        let m = CellModel::table_iii();
+        let mut a = write_cost(&m, &[s(0)], &[s(7)], 3); // 12.1 ns
+        let b = write_cost(&m, &[s(0)], &[s(3)], 3); // 143 ns
+        a.combine(&b);
+        assert!((a.latency.as_f64() - 143.0).abs() < 1e-9);
+        assert_eq!(a.cells_programmed, 2);
+        assert!((a.energy.as_f64() - (1.5 + 35.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bit_flip_count() {
+        assert_eq!(bit_flips(&[s(0b000)], &[s(0b111)]), 3);
+        assert_eq!(bit_flips(&[s(0b101)], &[s(0b100)]), 1);
+        assert_eq!(bit_flips(&[s(1), s(2)], &[s(1), s(2)]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let m = CellModel::table_iii();
+        write_cost(&m, &[s(0)], &[s(0), s(1)], 3);
+    }
+}

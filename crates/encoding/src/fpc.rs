@@ -1,0 +1,236 @@
+//! 64-bit frequent-pattern compression (FPC), after Palangappa & Mohanram
+//! (CompEx, HPCA'16) as used by CRADE \[61\] and Fig. 4 of the MorLog paper.
+//!
+//! Each 64-bit word is matched against a small set of frequent patterns and
+//! replaced by a 3-bit prefix plus the pattern's payload. Unmatchable words
+//! are stored uncompressed behind the escape prefix.
+
+/// The eight 64-bit FPC patterns. Discriminants are the 3-bit prefix values.
+///
+/// # Example
+///
+/// ```
+/// use morlog_encoding::fpc::{compress_word, FpcPattern};
+/// // Fig. 4: 0xFFFFFFFFABCDEFFF sign-extends from its low 32 bits.
+/// let e = compress_word(0xFFFF_FFFF_ABCD_EFFF);
+/// assert_eq!(e.pattern, FpcPattern::SignExt32);
+/// assert_eq!(e.total_bits(), 3 + 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FpcPattern {
+    /// The word is zero. Payload: none.
+    Zero = 0,
+    /// The word sign-extends from its low 8 bits. Payload: 8 bits.
+    SignExt8 = 1,
+    /// The word sign-extends from its low 16 bits. Payload: 16 bits.
+    SignExt16 = 2,
+    /// The word sign-extends from its low 32 bits. Payload: 32 bits.
+    SignExt32 = 3,
+    /// Both 32-bit halves sign-extend from their low 16 bits. Payload: 32 bits.
+    TwoHalfSignExt16 = 4,
+    /// The low 32 bits are zero. Payload: the high 32 bits.
+    LowHalfZero = 5,
+    /// All eight bytes are equal. Payload: 8 bits.
+    RepeatedByte = 6,
+    /// Escape: stored verbatim. Payload: 64 bits.
+    Uncompressed = 7,
+}
+
+impl FpcPattern {
+    /// The 3-bit prefix value.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Payload size in bits for this pattern.
+    pub fn payload_bits(self) -> u32 {
+        match self {
+            FpcPattern::Zero => 0,
+            FpcPattern::SignExt8 | FpcPattern::RepeatedByte => 8,
+            FpcPattern::SignExt16 => 16,
+            FpcPattern::SignExt32 | FpcPattern::TwoHalfSignExt16 | FpcPattern::LowHalfZero => 32,
+            FpcPattern::Uncompressed => 64,
+        }
+    }
+}
+
+/// Number of bits in the FPC prefix.
+pub const FPC_TAG_BITS: u32 = 3;
+
+/// A word compressed by FPC: the matched pattern and its payload.
+///
+/// # Example
+///
+/// ```
+/// use morlog_encoding::fpc::{compress_word, decompress_word};
+/// let e = compress_word(0x0101_0101_0101_0101);
+/// assert_eq!(decompress_word(&e), 0x0101_0101_0101_0101);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpcEncoded {
+    /// The pattern the word matched.
+    pub pattern: FpcPattern,
+    /// The payload, right-aligned in a `u64`.
+    pub payload: u64,
+}
+
+impl FpcEncoded {
+    /// Total encoded size: prefix plus payload.
+    pub fn total_bits(&self) -> u32 {
+        FPC_TAG_BITS + self.pattern.payload_bits()
+    }
+}
+
+fn sign_extends_from(word: u64, bits: u32) -> bool {
+    debug_assert!(bits < 64);
+    ((word as i64) << (64 - bits) >> (64 - bits)) as u64 == word
+}
+
+/// Compresses one 64-bit word, choosing the smallest applicable pattern
+/// (ties resolved toward the lowest tag).
+pub fn compress_word(word: u64) -> FpcEncoded {
+    if word == 0 {
+        return FpcEncoded { pattern: FpcPattern::Zero, payload: 0 };
+    }
+    if sign_extends_from(word, 8) {
+        return FpcEncoded { pattern: FpcPattern::SignExt8, payload: word & 0xFF };
+    }
+    let bytes = word.to_le_bytes();
+    if bytes.iter().all(|&b| b == bytes[0]) {
+        return FpcEncoded { pattern: FpcPattern::RepeatedByte, payload: bytes[0] as u64 };
+    }
+    if sign_extends_from(word, 16) {
+        return FpcEncoded { pattern: FpcPattern::SignExt16, payload: word & 0xFFFF };
+    }
+    let lo = word as u32;
+    let hi = (word >> 32) as u32;
+    if sign_extends_from(word, 32) {
+        return FpcEncoded { pattern: FpcPattern::SignExt32, payload: word & 0xFFFF_FFFF };
+    }
+    let half_ext = |h: u32| ((h as i32) << 16 >> 16) as u32 == h;
+    if half_ext(lo) && half_ext(hi) {
+        let payload = ((hi as u64 & 0xFFFF) << 16) | (lo as u64 & 0xFFFF);
+        return FpcEncoded { pattern: FpcPattern::TwoHalfSignExt16, payload };
+    }
+    if lo == 0 {
+        return FpcEncoded { pattern: FpcPattern::LowHalfZero, payload: hi as u64 };
+    }
+    FpcEncoded { pattern: FpcPattern::Uncompressed, payload: word }
+}
+
+/// Decompresses a word previously produced by [`compress_word`].
+pub fn decompress_word(enc: &FpcEncoded) -> u64 {
+    match enc.pattern {
+        FpcPattern::Zero => 0,
+        FpcPattern::SignExt8 => (enc.payload as u8) as i8 as i64 as u64,
+        FpcPattern::SignExt16 => (enc.payload as u16) as i16 as i64 as u64,
+        FpcPattern::SignExt32 => (enc.payload as u32) as i32 as i64 as u64,
+        FpcPattern::TwoHalfSignExt16 => {
+            let lo = ((enc.payload & 0xFFFF) as u16) as i16 as i32 as u32;
+            let hi = (((enc.payload >> 16) & 0xFFFF) as u16) as i16 as i32 as u32;
+            ((hi as u64) << 32) | lo as u64
+        }
+        FpcPattern::LowHalfZero => enc.payload << 32,
+        FpcPattern::RepeatedByte => {
+            let b = enc.payload & 0xFF;
+            b * 0x0101_0101_0101_0101
+        }
+        FpcPattern::Uncompressed => enc.payload,
+    }
+}
+
+/// Compresses a sequence of 64-bit words and returns the total encoded bits
+/// (prefixes included). This is the block-level FPC size used by CRADE's
+/// compression-ratio decision.
+///
+/// # Example
+///
+/// ```
+/// use morlog_encoding::fpc::compressed_bits;
+/// // Eight zero words: 8 × 3 = 24 bits instead of 512.
+/// assert_eq!(compressed_bits(&[0u64; 8]), 24);
+/// ```
+pub fn compressed_bits(words: &[u64]) -> u32 {
+    words.iter().map(|&w| compress_word(w).total_bits()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_sizes() {
+        assert_eq!(FpcPattern::Zero.payload_bits(), 0);
+        assert_eq!(FpcPattern::SignExt8.payload_bits(), 8);
+        assert_eq!(FpcPattern::Uncompressed.payload_bits(), 64);
+    }
+
+    #[test]
+    fn zero_word() {
+        let e = compress_word(0);
+        assert_eq!(e.pattern, FpcPattern::Zero);
+        assert_eq!(e.total_bits(), 3);
+        assert_eq!(decompress_word(&e), 0);
+    }
+
+    #[test]
+    fn sign_extension_tiers() {
+        for (w, p) in [
+            (0x7Fu64, FpcPattern::SignExt8),
+            (0xFFFF_FFFF_FFFF_FF80, FpcPattern::SignExt8),
+            (0x7FFF, FpcPattern::SignExt16),
+            (0xFFFF_FFFF_FFFF_8000, FpcPattern::SignExt16),
+            (0x7FFF_FFFF, FpcPattern::SignExt32),
+            (0xFFFF_FFFF_ABCD_EFFF, FpcPattern::SignExt32), // Fig. 4
+        ] {
+            let e = compress_word(w);
+            assert_eq!(e.pattern, p, "word {w:#x}");
+            assert_eq!(decompress_word(&e), w);
+        }
+    }
+
+    #[test]
+    fn repeated_bytes_and_halves() {
+        let e = compress_word(0xABAB_ABAB_ABAB_ABAB);
+        assert_eq!(e.pattern, FpcPattern::RepeatedByte);
+        assert_eq!(decompress_word(&e), 0xABAB_ABAB_ABAB_ABAB);
+
+        let w = 0x0000_1234_FFFF_8001; // halves 0x00001234 and 0xFFFF8001 both sign-extend
+        let e = compress_word(w);
+        assert_eq!(e.pattern, FpcPattern::TwoHalfSignExt16);
+        assert_eq!(decompress_word(&e), w);
+
+        let w = 0xDEAD_BEEF_0000_0000;
+        let e = compress_word(w);
+        assert_eq!(e.pattern, FpcPattern::LowHalfZero);
+        assert_eq!(decompress_word(&e), w);
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let w = 0x0123_4567_89AB_CDEF;
+        let e = compress_word(w);
+        assert_eq!(e.pattern, FpcPattern::Uncompressed);
+        assert_eq!(e.total_bits(), 67);
+        assert_eq!(decompress_word(&e), w);
+    }
+
+    #[test]
+    fn exhaustive_round_trip_sample() {
+        // A structured sweep of byte patterns.
+        let mut w: u64 = 0x9E37_79B9_7F4A_7C15;
+        for _ in 0..10_000 {
+            w = w.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+            let e = compress_word(w);
+            assert_eq!(decompress_word(&e), w, "round trip failed for {w:#x}");
+            assert!(e.total_bits() <= 67);
+        }
+    }
+
+    #[test]
+    fn block_bits_sum() {
+        let words = [0u64, 0x7F, 0x0123_4567_89AB_CDEF];
+        assert_eq!(compressed_bits(&words), 3 + 11 + 67);
+    }
+}

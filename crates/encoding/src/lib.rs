@@ -1,0 +1,57 @@
+//! Data-encoding stack for TLC-RRAM NVMM writes, reproducing §IV of the
+//! MorLog paper.
+//!
+//! The crate models the write path of an NVMM module controller:
+//!
+//! * [`cell`] — the TLC RRAM cell-state cost model (Table III): per-state
+//!   program latency and energy, 3 bits per cell.
+//! * [`dcw`] — data-comparison write: only cells whose target state differs
+//!   from their stored state are programmed.
+//! * [`fpc`] — 64-bit frequent-pattern compression, the compressor CRADE is
+//!   built on.
+//! * [`dldc`] — differential log-data compression (the paper's new encoder,
+//!   Table II): discards clean bytes of log data using per-byte dirty flags,
+//!   then pattern-compresses the surviving dirty bytes.
+//! * [`expansion`] — compression-ratio-aware expansion coding (incomplete
+//!   data mapping): compressed payloads are spread over more cells restricted
+//!   to the cheap TLC states.
+//! * [`crade`] — FPC + expansion coding, the state-of-the-art baseline codec.
+//! * [`slde`] — selective log-data encoding: runs CRADE's FPC path and DLDC
+//!   in parallel on log data and keeps the cheaper encoding (§IV-B).
+//! * [`overhead`] — the §IV-C capacity/latency/logic overhead arithmetic.
+//!
+//! # Example: encoding one log word
+//!
+//! ```
+//! use morlog_encoding::{cell::CellModel, slde::SldeCodec};
+//! use morlog_encoding::slde::LogWordRequest;
+//!
+//! let codec = SldeCodec::new(CellModel::table_iii());
+//! // Fig. 4: A = 0xFFFFFFFFABCDEFFF updated to 0xFFFFFFFFABCDF000 — only
+//! // the two low bytes change.
+//! let req = LogWordRequest::redo(0xFFFF_FFFF_ABCD_F000, 0xFFFF_FFFF_ABCD_EFFF);
+//! let enc = codec.encode_log_word(&req);
+//! assert!(enc.payload_bits < 64); // DLDC discarded the six clean bytes
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod bits;
+pub mod cell;
+pub mod crade;
+pub mod dcw;
+pub mod dldc;
+pub mod expansion;
+pub mod fpc;
+pub mod overhead;
+pub mod secure;
+pub mod slde;
+
+pub use cell::{CellModel, CellState, BITS_PER_CELL};
+pub use crade::CradeCodec;
+pub use dcw::{write_cost, WriteCost};
+pub use dldc::{DldcEncoded, DldcPattern};
+pub use expansion::{ExpansionMode, MappedWrite};
+pub use fpc::{FpcEncoded, FpcPattern};
+pub use secure::SecureMode;
+pub use slde::{EncodingChoice, SldeCodec};

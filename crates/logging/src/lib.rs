@@ -1,0 +1,27 @@
+//! The MorLog paper's primary contribution: morphable hardware logging for
+//! atomic persistence, plus the FWB undo+redo baseline it is evaluated
+//! against.
+//!
+//! * [`buffer`] — the volatile undo+redo and redo FIFOs (Table I).
+//! * [`controller`] — the log controller: the Fig. 8 word-state machine,
+//!   eager-undo/lazy-redo writeback (§III-B), commit protocols including
+//!   delay-persistence (§III-C), silent-log-write discarding (§IV-A), and
+//!   log truncation (§III-F).
+//! * [`recovery`] — the §III-E recovery routine for both commit protocols.
+//! * [`overhead`] — the Table I hardware-overhead arithmetic.
+//!
+//! The simulation engine in `morlog-sim` wires a [`controller::LogController`]
+//! between the cache hierarchy (`morlog-cache`) and the memory controller
+//! (`morlog-nvm`).
+
+#![deny(missing_docs)]
+
+pub mod buffer;
+pub mod controller;
+pub mod overhead;
+pub mod recovery;
+pub mod txtable;
+
+pub use controller::{LogController, PersistedUr, StoreStall, UlogWord};
+pub use recovery::{recover, RecoveryReport};
+pub use txtable::TransactionTable;

@@ -1,0 +1,171 @@
+//! The transaction-table log-management option (§III-F).
+//!
+//! The paper offers two ways to decide when a committed transaction's log
+//! entries may be deleted. The first is the force-write-back horizon (two
+//! scans, [`crate::controller::LogController::truncate`]). The second is a
+//! *transaction table*: each entry tracks a transaction and a counter of
+//! cache lines that still hold its updated (not yet persisted) data; when
+//! the counter reaches zero, every updated byte of the transaction is in
+//! NVMM and its log entries are dead. "The first option is simpler and has
+//! less hardware cost, while the second one provides more flexibility."
+//!
+//! The table is maintained from two events the engine already sees: a
+//! transactional store dirtying a line (attribution) and a line's data
+//! entering the persist domain (release).
+
+use std::collections::{HashMap, HashSet};
+
+use morlog_sim_core::ids::TxKey;
+use morlog_sim_core::LineAddr;
+
+/// The §III-F transaction table.
+///
+/// # Example
+///
+/// ```
+/// use morlog_logging::txtable::TransactionTable;
+/// use morlog_sim_core::ids::TxKey;
+/// use morlog_sim_core::{LineAddr, ThreadId, TxId};
+///
+/// let mut t = TransactionTable::new();
+/// let key = TxKey::new(ThreadId::new(0), TxId::new(0));
+/// let line = LineAddr::from_index(7);
+/// t.on_store(key, line);
+/// t.on_commit(key);
+/// assert!(!t.is_persisted(key), "one line still dirty");
+/// t.on_line_persisted(line);
+/// assert!(t.is_persisted(key));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TransactionTable {
+    /// Which transactions have unpersisted data in each line.
+    attribution: HashMap<LineAddr, HashSet<TxKey>>,
+    /// Outstanding dirty-line count per transaction (the table's counter).
+    counters: HashMap<TxKey, u32>,
+    /// Transactions that committed (table entries become deletable when
+    /// committed and counter == 0).
+    committed: HashSet<TxKey>,
+}
+
+impl TransactionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        TransactionTable::default()
+    }
+
+    /// A transactional store dirtied `line` on behalf of `key`.
+    pub fn on_store(&mut self, key: TxKey, line: LineAddr) {
+        let txs = self.attribution.entry(line).or_default();
+        if txs.insert(key) {
+            *self.counters.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    /// The transaction committed (program-visible).
+    pub fn on_commit(&mut self, key: TxKey) {
+        self.committed.insert(key);
+    }
+
+    /// `line`'s data entered the persist domain (LLC writeback or
+    /// force-write-back). Decrements every attributed transaction's counter.
+    pub fn on_line_persisted(&mut self, line: LineAddr) {
+        if let Some(txs) = self.attribution.remove(&line) {
+            for key in txs {
+                if let Some(c) = self.counters.get_mut(&key) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Whether every line the transaction updated has been persisted.
+    pub fn is_persisted(&self, key: TxKey) -> bool {
+        self.counters.get(&key).copied().unwrap_or(0) == 0
+    }
+
+    /// Whether the transaction's log entries are deletable: committed and
+    /// counter == 0.
+    pub fn is_deletable(&self, key: TxKey) -> bool {
+        self.committed.contains(&key) && self.is_persisted(key)
+    }
+
+    /// Drops the bookkeeping of fully-deleted transactions (called after
+    /// truncation removed their entries from the ring).
+    pub fn forget(&mut self, key: TxKey) {
+        self.counters.remove(&key);
+        self.committed.remove(&key);
+    }
+
+    /// Transactions currently tracked (occupied table entries; the paper's
+    /// hardware table is finite — its occupancy is a cost metric).
+    pub fn occupancy(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Volatile on crash.
+    pub fn clear(&mut self) {
+        self.attribution.clear();
+        self.counters.clear();
+        self.committed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morlog_sim_core::{ThreadId, TxId};
+
+    fn key(x: u16) -> TxKey {
+        TxKey::new(ThreadId::new(0), TxId::new(x))
+    }
+
+    #[test]
+    fn counter_tracks_distinct_lines_only() {
+        let mut t = TransactionTable::new();
+        let l = LineAddr::from_index(1);
+        t.on_store(key(0), l);
+        t.on_store(key(0), l); // same line twice: still one
+        t.on_store(key(0), LineAddr::from_index(2));
+        t.on_commit(key(0));
+        assert!(!t.is_deletable(key(0)));
+        t.on_line_persisted(l);
+        assert!(!t.is_deletable(key(0)));
+        t.on_line_persisted(LineAddr::from_index(2));
+        assert!(t.is_deletable(key(0)));
+    }
+
+    #[test]
+    fn shared_line_releases_all_writers() {
+        // Two transactions (sequentially) dirty the same line; one persist
+        // event releases both.
+        let mut t = TransactionTable::new();
+        let l = LineAddr::from_index(9);
+        t.on_store(key(0), l);
+        t.on_store(key(1), l);
+        t.on_commit(key(0));
+        t.on_commit(key(1));
+        t.on_line_persisted(l);
+        assert!(t.is_deletable(key(0)));
+        assert!(t.is_deletable(key(1)));
+    }
+
+    #[test]
+    fn uncommitted_is_never_deletable() {
+        let mut t = TransactionTable::new();
+        let l = LineAddr::from_index(3);
+        t.on_store(key(0), l);
+        t.on_line_persisted(l);
+        assert!(t.is_persisted(key(0)));
+        assert!(!t.is_deletable(key(0)));
+    }
+
+    #[test]
+    fn forget_frees_table_entries() {
+        let mut t = TransactionTable::new();
+        t.on_store(key(0), LineAddr::from_index(1));
+        t.on_commit(key(0));
+        assert_eq!(t.occupancy(), 1);
+        t.forget(key(0));
+        assert_eq!(t.occupancy(), 0);
+    }
+}

@@ -1,0 +1,479 @@
+//! The NVMM-resident log: record formats and the circular log region.
+//!
+//! MorLog organises the log region as a single-consumer, single-producer
+//! Lamport circular structure so it can be appended and truncated without
+//! locking, with two 64-bit registers holding the head and tail pointers
+//! (§III-A). Every record carries a *torn bit* whose value is constant
+//! within one pass over the region and flips on the next pass, letting
+//! recovery detect incompletely-written transactions (§III-B).
+
+use std::collections::VecDeque;
+
+use morlog_sim_core::ids::TxKey;
+use morlog_sim_core::Addr;
+
+/// The kind of a log record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogRecordKind {
+    /// Undo+redo entry: the first update to a word in a transaction
+    /// (Fig. 7, 202 bits).
+    UndoRedo,
+    /// Redo-only entry: a subsequent update, coalesced through the L1 and
+    /// redo buffer (Fig. 7, 138 bits).
+    Redo,
+    /// A transaction commit record (carries the ulog counter under the
+    /// delay-persistence protocol, §III-C).
+    Commit,
+}
+
+impl LogRecordKind {
+    /// Bytes one record of this kind occupies in the log region (raw entry
+    /// bits rounded up to a slot, leaving room for flags and tags).
+    pub fn slot_bytes(self) -> u64 {
+        match self {
+            LogRecordKind::UndoRedo => 32,
+            LogRecordKind::Redo => 24,
+            LogRecordKind::Commit => 16,
+        }
+    }
+
+    /// TLC cells backing one slot of this kind in the NVMM module: one
+    /// 24-cell word sub-region per metadata or data word (2 metadata words
+    /// plus 2, 1 or 0 data words).
+    pub fn slot_cells(self) -> usize {
+        match self {
+            LogRecordKind::UndoRedo => 96,
+            LogRecordKind::Redo => 72,
+            LogRecordKind::Commit => 48,
+        }
+    }
+}
+
+/// One log record, as persisted in the log region.
+///
+/// # Example
+///
+/// ```
+/// use morlog_nvm::log::LogRecord;
+/// use morlog_sim_core::ids::TxKey;
+/// use morlog_sim_core::{Addr, ThreadId, TxId};
+/// let key = TxKey::new(ThreadId::new(0), TxId::new(1));
+/// let rec = LogRecord::undo_redo(key, Addr::new(0x40), 0xAA, 0xBB, 0xFF);
+/// assert!(rec.undo.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Record kind.
+    pub kind: LogRecordKind,
+    /// The transaction the record belongs to.
+    pub key: TxKey,
+    /// Home address of the logged word (word-aligned; unused for commits).
+    pub addr: Addr,
+    /// Undo data (the old value), present only in undo+redo entries.
+    pub undo: Option<u64>,
+    /// Redo data (the new value); zero for commit records.
+    pub redo: u64,
+    /// Per-byte dirty flag of the logged word (§IV-A).
+    pub dirty_mask: u8,
+    /// The ulog counter snapshot stored in commit records when the
+    /// delay-persistence protocol is enabled (§III-C).
+    pub ulog_count: Option<u32>,
+    /// Commit timestamp: with distributed logs, commit records carry a
+    /// timestamp to define the global commit order (§III-F); with the
+    /// centralized log it is still stamped but the ring order suffices.
+    pub timestamp: u64,
+}
+
+impl LogRecord {
+    /// Builds an undo+redo entry.
+    pub fn undo_redo(key: TxKey, addr: Addr, undo: u64, redo: u64, dirty_mask: u8) -> Self {
+        LogRecord {
+            kind: LogRecordKind::UndoRedo,
+            key,
+            addr: addr.word_base(),
+            undo: Some(undo),
+            redo,
+            dirty_mask,
+            ulog_count: None,
+            timestamp: 0,
+        }
+    }
+
+    /// Builds a redo-only entry.
+    pub fn redo_only(key: TxKey, addr: Addr, redo: u64, dirty_mask: u8) -> Self {
+        LogRecord {
+            kind: LogRecordKind::Redo,
+            key,
+            addr: addr.word_base(),
+            undo: None,
+            redo,
+            dirty_mask,
+            ulog_count: None,
+            timestamp: 0,
+        }
+    }
+
+    /// Builds a commit record. `ulog_count` is `Some` only under the
+    /// delay-persistence protocol.
+    pub fn commit(key: TxKey, ulog_count: Option<u32>) -> Self {
+        LogRecord {
+            kind: LogRecordKind::Commit,
+            key,
+            addr: Addr::new(0),
+            undo: None,
+            redo: 0,
+            dirty_mask: 0,
+            ulog_count,
+            timestamp: 0,
+        }
+    }
+
+    /// Stamps the commit timestamp (distributed logs, §III-F).
+    pub fn with_timestamp(mut self, timestamp: u64) -> Self {
+        self.timestamp = timestamp;
+        self
+    }
+
+    /// Serialises the record's header into metadata words for the codec:
+    /// word 0 is the 48-bit home address, word 1 packs kind, thread,
+    /// transaction id, dirty flag and the optional ulog counter.
+    pub fn meta_words(&self) -> [u64; 2] {
+        let kind_bits: u64 = match self.kind {
+            LogRecordKind::UndoRedo => 0,
+            LogRecordKind::Redo => 1,
+            LogRecordKind::Commit => 2,
+        };
+        let w0 = self.addr.truncated48();
+        let w1 = kind_bits
+            | (self.key.thread.as_u8() as u64) << 2
+            | (self.key.txid.as_u16() as u64) << 10
+            | (self.dirty_mask as u64) << 26
+            | (self.ulog_count.unwrap_or(0) as u64) << 34
+            | (self.ulog_count.is_some() as u64) << 62;
+        [w0, w1]
+    }
+}
+
+/// A record as stored in the ring: the payload plus its location, torn bit
+/// and append sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredRecord {
+    /// The record payload.
+    pub record: LogRecord,
+    /// Monotonic byte offset of the slot (not wrapped; `offset %
+    /// capacity` is the physical location).
+    pub offset: u64,
+    /// The pass-parity torn bit the record was written with (§III-B).
+    pub torn: bool,
+    /// Global append sequence number (recovery applies undos in reverse
+    /// sequence order and redos forward).
+    pub seq: u64,
+}
+
+/// Error returned when the log region cannot accept a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogFullError {
+    /// Bytes the failed append needed.
+    pub needed: u64,
+    /// Bytes currently free.
+    pub free: u64,
+}
+
+impl std::fmt::Display for LogFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "log region full: need {} bytes, {} free", self.needed, self.free)
+    }
+}
+
+impl std::error::Error for LogFullError {}
+
+/// The circular log region.
+///
+/// Head and tail are monotonically increasing byte offsets; the physical
+/// location of a slot is its offset modulo the capacity, and the torn bit of
+/// a slot is the parity of `offset / capacity` (which pass wrote it).
+///
+/// # Example
+///
+/// ```
+/// use morlog_nvm::log::{LogRecord, LogRegion};
+/// use morlog_sim_core::ids::TxKey;
+/// use morlog_sim_core::{Addr, ThreadId, TxId};
+///
+/// let mut ring = LogRegion::new(Addr::new(0x1000), 4096);
+/// let key = TxKey::new(ThreadId::new(0), TxId::new(0));
+/// let rec = LogRecord::undo_redo(key, Addr::new(0x40), 1, 2, 0xFF);
+/// let stored = ring.append(rec).unwrap();
+/// assert_eq!(stored.offset, 0);
+/// assert_eq!(ring.records().count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogRegion {
+    base: Addr,
+    capacity: u64,
+    head: u64,
+    tail: u64,
+    next_seq: u64,
+    records: VecDeque<StoredRecord>,
+}
+
+impl LogRegion {
+    /// Creates an empty ring of `capacity` bytes based at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity cannot hold even one undo+redo slot.
+    pub fn new(base: Addr, capacity: u64) -> Self {
+        assert!(
+            capacity >= LogRecordKind::UndoRedo.slot_bytes(),
+            "log region of {capacity} bytes cannot hold a single entry"
+        );
+        LogRegion { base, capacity, head: 0, tail: 0, next_seq: 0, records: VecDeque::new() }
+    }
+
+    /// The region's base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// The region's capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The head register (monotonic byte offset of the oldest live record).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// The tail register (monotonic byte offset one past the newest record).
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Bytes currently occupied.
+    pub fn used_bytes(&self) -> u64 {
+        self.tail - self.head
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used_bytes()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The torn bit the next append will carry.
+    pub fn current_torn(&self) -> bool {
+        (self.tail / self.capacity) % 2 == 1
+    }
+
+    /// Appends a record, returning the stored form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogFullError`] when the ring lacks space — the §III-A
+    /// overflow case, which the producer handles by stalling until
+    /// truncation frees space.
+    pub fn append(&mut self, record: LogRecord) -> Result<StoredRecord, LogFullError> {
+        let needed = record.kind.slot_bytes();
+        if self.free_bytes() < needed {
+            return Err(LogFullError { needed, free: self.free_bytes() });
+        }
+        // A slot never straddles the wrap point: skip the tail to the next
+        // pass if the remainder of this pass is too small.
+        let remain_in_pass = self.capacity - (self.tail % self.capacity);
+        if remain_in_pass < needed {
+            if self.free_bytes() < remain_in_pass + needed {
+                return Err(LogFullError { needed: remain_in_pass + needed, free: self.free_bytes() });
+            }
+            self.tail += remain_in_pass;
+        }
+        let stored = StoredRecord {
+            record,
+            offset: self.tail,
+            torn: self.current_torn(),
+            seq: self.next_seq,
+        };
+        self.tail += needed;
+        self.next_seq += 1;
+        self.records.push_back(stored);
+        Ok(stored)
+    }
+
+    /// Advances the head register to `offset`, deleting all records below it
+    /// (log truncation after the force-write-back scan, §III-F).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is outside `[head, tail]`.
+    pub fn truncate_to(&mut self, offset: u64) {
+        assert!(
+            offset >= self.head && offset <= self.tail,
+            "truncate offset {offset} outside [{}, {}]",
+            self.head,
+            self.tail
+        );
+        while let Some(front) = self.records.front() {
+            if front.offset < offset {
+                self.records.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.head = offset;
+    }
+
+    /// Extends the ring with a temporary overflow region (§III-A option 2:
+    /// "allocating a temporary region when the current one is filled by an
+    /// in-flight transaction"). The capacity grows by `extra` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra` is zero or not line-aligned.
+    pub fn grow(&mut self, extra: u64) {
+        assert!(extra > 0 && extra % 64 == 0, "overflow region must be line-aligned");
+        self.capacity += extra;
+    }
+
+    /// Deletes everything (recovery completion).
+    pub fn clear(&mut self) {
+        self.head = self.tail;
+        self.records.clear();
+    }
+
+    /// Iterates live records from head to tail (the recovery scan order).
+    pub fn records(&self) -> impl DoubleEndedIterator<Item = &StoredRecord> + '_ {
+        self.records.iter()
+    }
+
+    /// The NVMM byte address of a stored record's slot.
+    pub fn slot_addr(&self, stored: &StoredRecord) -> Addr {
+        Addr::new(self.base.as_u64() + stored.offset % self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morlog_sim_core::{ThreadId, TxId};
+
+    fn key(t: u8, x: u16) -> TxKey {
+        TxKey::new(ThreadId::new(t), TxId::new(x))
+    }
+
+    fn ur(t: u8, x: u16, addr: u64) -> LogRecord {
+        LogRecord::undo_redo(key(t, x), Addr::new(addr), 0xAA, 0xBB, 0x0F)
+    }
+
+    #[test]
+    fn append_and_iterate_in_order() {
+        let mut ring = LogRegion::new(Addr::new(0), 4096);
+        for i in 0..10 {
+            ring.append(ur(0, 0, i * 64)).unwrap();
+        }
+        let offsets: Vec<u64> = ring.records().map(|r| r.offset).collect();
+        assert_eq!(offsets, (0..10).map(|i| i * 32).collect::<Vec<_>>());
+        let seqs: Vec<u64> = ring.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fills_and_reports_full() {
+        let mut ring = LogRegion::new(Addr::new(0), 128);
+        for _ in 0..4 {
+            ring.append(ur(0, 0, 0)).unwrap();
+        }
+        let err = ring.append(ur(0, 0, 0)).unwrap_err();
+        assert_eq!(err.free, 0);
+        assert_eq!(ring.used_bytes(), 128);
+    }
+
+    #[test]
+    fn truncation_frees_space() {
+        let mut ring = LogRegion::new(Addr::new(0), 128);
+        let mut stored = Vec::new();
+        for _ in 0..4 {
+            stored.push(ring.append(ur(0, 0, 0)).unwrap());
+        }
+        ring.truncate_to(stored[2].offset);
+        assert_eq!(ring.records().count(), 2);
+        assert_eq!(ring.free_bytes(), 64);
+        ring.append(ur(0, 0, 0)).unwrap();
+        ring.append(ur(0, 1, 0)).unwrap();
+        assert!(ring.append(ur(0, 2, 0)).is_err());
+    }
+
+    #[test]
+    fn torn_bit_flips_per_pass() {
+        let mut ring = LogRegion::new(Addr::new(0), 128);
+        let mut first_pass = Vec::new();
+        for _ in 0..4 {
+            first_pass.push(ring.append(ur(0, 0, 0)).unwrap());
+        }
+        assert!(first_pass.iter().all(|r| !r.torn));
+        ring.truncate_to(ring.tail());
+        let second = ring.append(ur(0, 1, 0)).unwrap();
+        assert!(second.torn, "second pass records carry the flipped torn bit");
+        assert_eq!(second.offset % 128, 0, "wrapped to the physical start");
+    }
+
+    #[test]
+    fn slots_never_straddle_the_wrap() {
+        // Capacity 112 = 3.5 undo+redo slots: the fourth append must skip
+        // the 16 dangling bytes and wait for space in the next pass.
+        let mut ring = LogRegion::new(Addr::new(0), 112);
+        for _ in 0..3 {
+            ring.append(ur(0, 0, 0)).unwrap();
+        }
+        assert!(ring.append(ur(0, 0, 0)).is_err());
+        ring.truncate_to(64); // free two slots
+        let fourth = ring.append(ur(0, 0, 0)).unwrap();
+        assert_eq!(fourth.offset, 112, "skipped the 16-byte remainder");
+        assert_eq!(fourth.offset % 112, 0);
+        assert!(fourth.torn);
+    }
+
+    #[test]
+    fn mixed_kinds_pack_by_slot_size() {
+        let mut ring = LogRegion::new(Addr::new(0), 4096);
+        let a = ring.append(LogRecord::redo_only(key(0, 0), Addr::new(0x40), 7, 0xFF)).unwrap();
+        let b = ring.append(LogRecord::commit(key(0, 0), Some(3))).unwrap();
+        assert_eq!(a.offset, 0);
+        assert_eq!(b.offset, 24);
+        assert_eq!(ring.tail(), 40);
+    }
+
+    #[test]
+    fn meta_words_round_trip_key_fields() {
+        let rec = LogRecord::commit(key(3, 515), Some(77));
+        let [w0, w1] = rec.meta_words();
+        assert_eq!(w0, 0);
+        assert_eq!(w1 & 0b11, 2); // kind commit
+        assert_eq!((w1 >> 2) & 0xFF, 3);
+        assert_eq!((w1 >> 10) & 0xFFFF, 515);
+        assert_eq!((w1 >> 34) & 0x3FF_FFFF, 77);
+        assert_eq!((w1 >> 62) & 1, 1);
+    }
+
+    #[test]
+    fn slot_addr_wraps_physically() {
+        let mut ring = LogRegion::new(Addr::new(0x1000), 128);
+        for _ in 0..4 {
+            ring.append(ur(0, 0, 0)).unwrap();
+        }
+        ring.truncate_to(ring.tail());
+        let r = ring.append(ur(0, 0, 0)).unwrap();
+        assert_eq!(ring.slot_addr(&r).as_u64(), 0x1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn truncate_past_tail_panics() {
+        let mut ring = LogRegion::new(Addr::new(0), 4096);
+        ring.truncate_to(64);
+    }
+}

@@ -1,0 +1,270 @@
+//! Metric counters reported by the simulator.
+//!
+//! All component crates write into these plain counter structs; the
+//! benchmark harness reads them to regenerate the paper's tables and
+//! figures. Keeping them in `sim-core` avoids cross-crate dependencies
+//! between substrates.
+
+use crate::timing::{Cycle, Frequency};
+
+/// Per-cache-level hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLevelStats {
+    /// Accesses that hit in this level.
+    pub hits: u64,
+    /// Accesses that missed in this level.
+    pub misses: u64,
+    /// Dirty lines written back from this level.
+    pub writebacks: u64,
+    /// Lines evicted (clean or dirty).
+    pub evictions: u64,
+}
+
+impl CacheLevelStats {
+    /// Hit rate in `[0,1]`; `None` when the level saw no accesses.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &CacheLevelStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+        self.evictions += other.evictions;
+    }
+}
+
+/// NVMM device and controller counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemStats {
+    /// Read requests serviced by NVMM.
+    pub nvmm_reads: u64,
+    /// Write requests serviced by NVMM (data + log). This is the "NVMM write
+    /// traffic" of Fig. 13.
+    pub nvmm_writes: u64,
+    /// Write requests that were data (in-place) writes.
+    pub data_writes: u64,
+    /// Write requests that were log writes.
+    pub log_writes: u64,
+    /// TLC cells actually programmed (after DCW).
+    pub cells_programmed: u64,
+    /// Bits programmed (cells × bits-per-cell of the mapping used); the
+    /// "log bits" of Table VI count only log writes.
+    pub bits_programmed: u64,
+    /// Bits programmed by log writes only.
+    pub log_bits_programmed: u64,
+    /// Total NVMM write energy in picojoules.
+    pub write_energy_pj: f64,
+    /// Write energy spent on log writes only, in picojoules.
+    pub log_write_energy_pj: f64,
+    /// Cycles any core spent stalled because a write queue was full.
+    pub wq_full_stall_cycles: u64,
+    /// Number of write-queue drain episodes.
+    pub drains: u64,
+    /// Reads delayed behind an in-progress drain.
+    pub reads_blocked_by_drain: u64,
+    /// Writes that were dropped because DCW found zero modified cells.
+    pub silent_block_writes: u64,
+    /// Total cycles NVMM reads spent from enqueue to completion.
+    pub read_wait_cycles: u64,
+    /// Times a log slice was extended with a temporary overflow region
+    /// (§III-A option 2).
+    pub log_overflow_growths: u64,
+}
+
+impl MemStats {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.nvmm_reads += other.nvmm_reads;
+        self.nvmm_writes += other.nvmm_writes;
+        self.data_writes += other.data_writes;
+        self.log_writes += other.log_writes;
+        self.cells_programmed += other.cells_programmed;
+        self.bits_programmed += other.bits_programmed;
+        self.log_bits_programmed += other.log_bits_programmed;
+        self.write_energy_pj += other.write_energy_pj;
+        self.log_write_energy_pj += other.log_write_energy_pj;
+        self.wq_full_stall_cycles += other.wq_full_stall_cycles;
+        self.drains += other.drains;
+        self.reads_blocked_by_drain += other.reads_blocked_by_drain;
+        self.silent_block_writes += other.silent_block_writes;
+        self.read_wait_cycles += other.read_wait_cycles;
+        self.log_overflow_growths += other.log_overflow_growths;
+    }
+}
+
+/// Logging-mechanism counters (§III).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Undo+redo entries created.
+    pub undo_redo_created: u64,
+    /// Redo entries created.
+    pub redo_created: u64,
+    /// Entries coalesced into an existing buffer entry.
+    pub coalesced: u64,
+    /// Entries discarded as silent log writes (all bytes clean, §IV-A).
+    pub silent_discarded: u64,
+    /// Redo entries discarded because the line was evicted by the LLC or
+    /// rewritten by the same transaction (§III-B).
+    pub redo_discarded: u64,
+    /// Log entries actually written to NVMM.
+    pub entries_written: u64,
+    /// Commit records written.
+    pub commit_records: u64,
+    /// Cycles transactions spent waiting at commit for log persistence.
+    pub commit_stall_cycles: u64,
+    /// Cycles stores stalled because a log buffer was full.
+    pub buffer_full_stall_cycles: u64,
+    /// Redo entries created after their transaction committed (tracked
+    /// against the ulog counter by the delay-persistence protocol).
+    pub post_commit_redo: u64,
+    /// Times the log ring filled and appends had to wait for truncation.
+    pub log_region_full_stalls: u64,
+}
+
+impl LogStats {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &LogStats) {
+        self.undo_redo_created += other.undo_redo_created;
+        self.redo_created += other.redo_created;
+        self.coalesced += other.coalesced;
+        self.silent_discarded += other.silent_discarded;
+        self.redo_discarded += other.redo_discarded;
+        self.entries_written += other.entries_written;
+        self.commit_records += other.commit_records;
+        self.commit_stall_cycles += other.commit_stall_cycles;
+        self.buffer_full_stall_cycles += other.buffer_full_stall_cycles;
+        self.post_commit_redo += other.post_commit_redo;
+        self.log_region_full_stalls += other.log_region_full_stalls;
+    }
+}
+
+/// Whole-run statistics for one simulated system.
+///
+/// # Example
+///
+/// ```
+/// use morlog_sim_core::{Frequency, SimStats};
+/// let mut s = SimStats::default();
+/// s.cycles = 3_000_000_000;
+/// s.transactions_committed = 600;
+/// let tput = s.tx_per_second(Frequency::ghz(3.0));
+/// assert!((tput - 600.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: Cycle,
+    /// Transactions committed across all threads.
+    pub transactions_committed: u64,
+    /// Stores executed inside transactions.
+    pub tx_stores: u64,
+    /// Loads executed inside transactions.
+    pub tx_loads: u64,
+    /// Per-level cache counters: `[L1, L2, L3]` summed over cores.
+    pub cache: [CacheLevelStats; 3],
+    /// Memory-system counters.
+    pub mem: MemStats,
+    /// Logging counters.
+    pub log: LogStats,
+}
+
+impl SimStats {
+    /// Transaction throughput in transactions per simulated second.
+    ///
+    /// Returns 0 when no cycles elapsed.
+    pub fn tx_per_second(&self, freq: Frequency) -> f64 {
+        let secs = freq.cycles_to_seconds(self.cycles);
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.transactions_committed as f64 / secs
+        }
+    }
+
+    /// Adds another run's counters into this one (for multi-workload means).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.transactions_committed += other.transactions_committed;
+        self.tx_stores += other.tx_stores;
+        self.tx_loads += other.tx_loads;
+        for (a, b) in self.cache.iter_mut().zip(other.cache.iter()) {
+            a.merge(b);
+        }
+        self.mem.merge(&other.mem);
+        self.log.merge(&other.log);
+    }
+}
+
+/// Geometric mean of a series of ratios (the paper reports Gmean bars).
+///
+/// Returns `None` for an empty series or if any value is non-positive.
+///
+/// # Example
+///
+/// ```
+/// use morlog_sim_core::stats::geometric_mean;
+/// let g = geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert!(geometric_mean(&[]).is_none());
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        let s = CacheLevelStats::default();
+        assert_eq!(s.hit_rate(), None);
+        let s = CacheLevelStats { hits: 3, misses: 1, ..Default::default() };
+        assert!((s.hit_rate().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SimStats::default();
+        a.transactions_committed = 1;
+        a.mem.nvmm_writes = 10;
+        a.cache[0].hits = 5;
+        a.log.coalesced = 2;
+        let mut b = SimStats::default();
+        b.transactions_committed = 2;
+        b.mem.nvmm_writes = 20;
+        b.cache[0].hits = 7;
+        b.log.coalesced = 3;
+        a.merge(&b);
+        assert_eq!(a.transactions_committed, 3);
+        assert_eq!(a.mem.nvmm_writes, 30);
+        assert_eq!(a.cache[0].hits, 12);
+        assert_eq!(a.log.coalesced, 5);
+    }
+
+    #[test]
+    fn throughput_zero_when_no_cycles() {
+        let s = SimStats::default();
+        assert_eq!(s.tx_per_second(Frequency::ghz(3.0)), 0.0);
+    }
+
+    #[test]
+    fn gmean_rejects_nonpositive() {
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+        assert!(geometric_mean(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn gmean_of_constant_is_constant() {
+        let g = geometric_mean(&[2.5, 2.5, 2.5]).unwrap();
+        assert!((g - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,23 @@
+//! The full-system simulator: in-order cores replaying workload traces over
+//! the cache hierarchy, the log controller and the FRFCFS-WQF memory
+//! controller — the role Gem5 + NVMain play in the paper's methodology
+//! (§VI-A), built from scratch.
+//!
+//! * [`system`] — the [`system::System`]: construction for each of the six
+//!   evaluated designs, the cycle engine, commit handling, crash injection
+//!   and recovery.
+//! * [`oracle`] — a transaction oracle recording every transactional
+//!   write so crash/recovery tests can verify atomic persistence
+//!   end-to-end.
+//! * [`report`] — assembling [`morlog_sim_core::SimStats`] and the
+//!   normalized metrics the paper's figures report.
+
+#![deny(missing_docs)]
+
+pub mod oracle;
+pub mod report;
+pub mod system;
+
+pub use oracle::Oracle;
+pub use report::RunReport;
+pub use system::System;

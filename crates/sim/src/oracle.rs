@@ -1,0 +1,351 @@
+//! The transaction oracle: ground truth for crash/recovery verification.
+//!
+//! The oracle records the program-order writes of every transaction and
+//! which transactions committed from the program's point of view. After a
+//! crash and recovery, [`Oracle::verify`] checks *atomic persistence*: for
+//! every thread, the post-recovery NVMM image must equal the replay of a
+//! **prefix** of that thread's transactions — every transaction is
+//! all-there or all-gone, and survival follows commit order.
+//!
+//! Under the synchronous commit protocols the surviving prefix must cover
+//! every transaction the program saw commit (durability at commit). Under
+//! delay-persistence (§III-C) commit guarantees atomicity only: the most
+//! recently committed transactions may be rolled back, so the prefix may
+//! end earlier — but it must still be a prefix, and it must contain every
+//! transaction recovery claims to have rolled forward and none it rolled
+//! back.
+
+use std::collections::{HashMap, HashSet};
+
+use morlog_logging::recovery::RecoveryReport;
+use morlog_nvm::controller::MemoryController;
+use morlog_sim_core::ids::TxKey;
+use morlog_sim_core::{Addr, ThreadId};
+
+#[derive(Debug, Clone)]
+struct OracleTx {
+    key: TxKey,
+    writes: Vec<(Addr, u64)>,
+    committed: bool,
+}
+
+/// Ground-truth recorder for atomicity verification.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    txs: Vec<OracleTx>,
+    index: HashMap<TxKey, usize>,
+    initial: Vec<(Addr, u64)>,
+}
+
+impl Oracle {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Oracle::default()
+    }
+
+    /// Registers the pre-loaded NVMM image.
+    pub fn record_initial(&mut self, writes: &[(Addr, u64)]) {
+        self.initial.extend_from_slice(writes);
+    }
+
+    /// A transaction began.
+    pub fn begin(&mut self, key: TxKey) {
+        self.index.insert(key, self.txs.len());
+        self.txs.push(OracleTx { key, writes: Vec::new(), committed: false });
+    }
+
+    /// A transactional store executed (program order).
+    pub fn record_write(&mut self, key: TxKey, addr: Addr, value: u64) {
+        let idx = self.index[&key];
+        self.txs[idx].writes.push((addr.word_base(), value));
+    }
+
+    /// The transaction committed (program-visible commit).
+    pub fn mark_committed(&mut self, key: TxKey) {
+        let idx = self.index[&key];
+        self.txs[idx].committed = true;
+    }
+
+    /// Transactions recorded so far.
+    pub fn transactions(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Verifies atomic persistence of the post-recovery NVMM image.
+    ///
+    /// `strict_durability` should be `true` for the synchronous commit
+    /// protocols (a program-visible commit implies persistence) and `false`
+    /// under delay-persistence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation: no surviving prefix matches
+    /// the NVMM image, or the surviving prefix is inconsistent with the
+    /// recovery report or the durability contract.
+    pub fn verify(
+        &self,
+        mc: &MemoryController,
+        report: &RecoveryReport,
+        strict_durability: bool,
+    ) -> Result<(), String> {
+        let redone: HashSet<TxKey> = report.redone.iter().copied().collect();
+        let undone: HashSet<TxKey> = report.undone.iter().copied().collect();
+
+        // Group transactions per thread, preserving program order. Threads
+        // write disjoint addresses (isolation via partitioning, §III-A), so
+        // each thread verifies independently.
+        let mut per_thread: HashMap<ThreadId, Vec<&OracleTx>> = HashMap::new();
+        for tx in &self.txs {
+            per_thread.entry(tx.key.thread).or_default().push(tx);
+        }
+        let initial: HashMap<u64, u64> = self
+            .initial
+            .iter()
+            .map(|&(a, v)| (a.word_base().as_u64(), v))
+            .collect();
+
+        for (thread, txs) in per_thread {
+            // Addresses this thread ever touches.
+            let mut touched: HashSet<u64> = HashSet::new();
+            for tx in &txs {
+                for &(a, _) in &tx.writes {
+                    touched.insert(a.as_u64());
+                }
+            }
+            // Also include the thread's own initial image words.
+            // (Initial entries are global; including extra words is fine —
+            // other threads never write them.)
+            // Allowed prefix lengths.
+            let mut lo = 0usize;
+            let mut hi = txs.len();
+            for (i, tx) in txs.iter().enumerate() {
+                if redone.contains(&tx.key) {
+                    lo = lo.max(i + 1);
+                }
+                if undone.contains(&tx.key) {
+                    hi = hi.min(i);
+                }
+                if strict_durability && tx.committed {
+                    lo = lo.max(i + 1);
+                }
+                // A transaction that never committed (and that recovery did
+                // not roll forward from a persisted commit record) must not
+                // survive.
+                if !tx.committed && !redone.contains(&tx.key) {
+                    hi = hi.min(i);
+                }
+            }
+            if lo > hi {
+                return Err(format!(
+                    "{thread}: recovery report inconsistent — surviving prefix must \
+                     include at least {lo} transactions but at most {hi}"
+                ));
+            }
+            // Committed transactions are a prefix of program order (commits
+            // are in order per thread); the surviving prefix must not
+            // include uncommitted transactions unless recovery redid them
+            // (their commit record persisted just before the crash).
+            for (i, tx) in txs.iter().enumerate() {
+                if i < lo && !tx.committed && !redone.contains(&tx.key) {
+                    return Err(format!(
+                        "{thread}: transaction {} must survive but never committed",
+                        tx.key
+                    ));
+                }
+            }
+
+            // Try every allowed prefix length, replaying incrementally.
+            let mut expected: HashMap<u64, u64> = touched
+                .iter()
+                .map(|&a| (a, initial.get(&a).copied().unwrap_or(0)))
+                .collect();
+            for tx in &txs[..lo] {
+                for &(a, v) in &tx.writes {
+                    expected.insert(a.as_u64(), v);
+                }
+            }
+            let mut k = lo;
+            let mut matched = false;
+            loop {
+                if state_matches(mc, &expected) {
+                    matched = true;
+                    break;
+                }
+                if k >= hi {
+                    break;
+                }
+                for &(a, v) in &txs[k].writes {
+                    expected.insert(a.as_u64(), v);
+                }
+                k += 1;
+            }
+            if !matched {
+                // Produce a diagnostic against the largest allowed prefix.
+                let mismatch = first_mismatch(mc, &expected);
+                return Err(format!(
+                    "{thread}: no surviving prefix in [{lo}, {hi}] matches NVMM \
+                     (at the {hi}-prefix, first mismatch: {mismatch})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn state_matches(mc: &MemoryController, expected: &HashMap<u64, u64>) -> bool {
+    expected.iter().all(|(&a, &want)| {
+        let addr = Addr::new(a);
+        mc.read_line(addr.line()).word(addr.word_index()) == want
+    })
+}
+
+fn first_mismatch(mc: &MemoryController, expected: &HashMap<u64, u64>) -> String {
+    let mut keys: Vec<&u64> = expected.keys().collect();
+    keys.sort();
+    for &&a in &keys {
+        let addr = Addr::new(a);
+        let got = mc.read_line(addr.line()).word(addr.word_index());
+        let want = expected[&a];
+        if got != want {
+            return format!("{addr}: NVMM holds {got:#x}, expected {want:#x}");
+        }
+    }
+    "none".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morlog_encoding::cell::CellModel;
+    use morlog_encoding::slde::SldeCodec;
+    use morlog_sim_core::{Frequency, MemConfig, TxId};
+
+    fn mc() -> MemoryController {
+        MemoryController::with_default_map(
+            MemConfig::default(),
+            Frequency::ghz(3.0),
+            SldeCodec::new(CellModel::table_iii()),
+        )
+    }
+
+    fn key(x: u16) -> TxKey {
+        TxKey::new(ThreadId::new(0), TxId::new(x))
+    }
+
+    fn set_word(m: &mut MemoryController, a: Addr, v: u64) {
+        let mut line = m.read_line(a.line());
+        line.set_word(a.word_index(), v);
+        m.write_line_functional(a.line(), line);
+    }
+
+    #[test]
+    fn committed_tx_must_be_visible_under_strict_durability() {
+        let mut m = mc();
+        let a = m.map().data_base();
+        let mut o = Oracle::new();
+        o.begin(key(0));
+        o.record_write(key(0), a, 5);
+        o.mark_committed(key(0));
+        let report = RecoveryReport::default();
+        assert!(o.verify(&m, &report, true).is_err(), "NVMM still zero");
+        set_word(&mut m, a, 5);
+        assert!(o.verify(&m, &report, true).is_ok());
+    }
+
+    #[test]
+    fn dp_may_lose_recent_commits_but_only_as_a_suffix() {
+        let mut m = mc();
+        let a = m.map().data_base();
+        let b = Addr::new(a.as_u64() + 8);
+        let mut o = Oracle::new();
+        o.begin(key(0));
+        o.record_write(key(0), a, 1);
+        o.mark_committed(key(0));
+        o.begin(key(1));
+        o.record_write(key(1), b, 2);
+        o.mark_committed(key(1));
+        let report = RecoveryReport::default();
+        // Nothing persisted: acceptable under DP (prefix length 0)...
+        assert!(o.verify(&m, &report, false).is_ok());
+        // ...but a strict protocol must reject it.
+        assert!(o.verify(&m, &report, true).is_err());
+        // tx1 persisted, tx0 lost: NOT a prefix — reject even under DP.
+        set_word(&mut m, b, 2);
+        assert!(o.verify(&m, &report, false).is_err());
+        // Both persisted: fine.
+        set_word(&mut m, a, 1);
+        assert!(o.verify(&m, &report, false).is_ok());
+    }
+
+    #[test]
+    fn undone_tx_must_be_invisible() {
+        let mut m = mc();
+        let a = m.map().data_base();
+        let mut o = Oracle::new();
+        o.begin(key(0));
+        o.record_write(key(0), a, 5);
+        o.mark_committed(key(0));
+        let report = RecoveryReport { undone: vec![key(0)], ..Default::default() };
+        assert!(o.verify(&m, &report, false).is_ok(), "rolled-back tx leaves zeros");
+        set_word(&mut m, a, 5);
+        assert!(o.verify(&m, &report, false).is_err(), "undone tx must not persist");
+    }
+
+    #[test]
+    fn redone_tx_must_be_visible_even_under_dp() {
+        let mut m = mc();
+        let a = m.map().data_base();
+        let mut o = Oracle::new();
+        o.begin(key(0));
+        o.record_write(key(0), a, 5);
+        o.mark_committed(key(0));
+        let report = RecoveryReport { redone: vec![key(0)], ..Default::default() };
+        assert!(o.verify(&m, &report, false).is_err(), "redone but absent");
+        set_word(&mut m, a, 5);
+        assert!(o.verify(&m, &report, false).is_ok());
+    }
+
+    #[test]
+    fn partial_visibility_is_a_violation() {
+        let mut m = mc();
+        let a = m.map().data_base();
+        let b = Addr::new(a.as_u64() + 8);
+        let mut o = Oracle::new();
+        o.begin(key(0));
+        o.record_write(key(0), a, 1);
+        o.record_write(key(0), b, 2);
+        o.mark_committed(key(0));
+        set_word(&mut m, a, 1); // only half the transaction applied
+        assert!(o.verify(&m, &RecoveryReport::default(), false).is_err());
+    }
+
+    #[test]
+    fn inconsistent_report_is_rejected() {
+        let m = mc();
+        let a = m.map().data_base();
+        let mut o = Oracle::new();
+        o.begin(key(0));
+        o.record_write(key(0), a, 1);
+        o.mark_committed(key(0));
+        o.begin(key(1));
+        o.record_write(key(1), a, 2);
+        o.mark_committed(key(1));
+        // Recovery claims tx1 redone but tx0 undone: not a prefix.
+        let report =
+            RecoveryReport { redone: vec![key(1)], undone: vec![key(0)], ..Default::default() };
+        assert!(o.verify(&m, &report, false).is_err());
+    }
+
+    #[test]
+    fn initial_image_is_the_baseline() {
+        let mut m = mc();
+        let a = m.map().data_base();
+        let mut o = Oracle::new();
+        o.record_initial(&[(a, 77)]);
+        o.begin(key(0));
+        o.record_write(key(0), a, 78);
+        // Uncommitted: the initial value must remain.
+        set_word(&mut m, a, 77);
+        assert!(o.verify(&m, &RecoveryReport::default(), true).is_ok());
+    }
+}

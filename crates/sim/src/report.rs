@@ -1,0 +1,102 @@
+//! Run reports and the normalized metrics the paper's figures use.
+
+use morlog_sim_core::{DesignKind, Frequency, SimStats};
+
+/// One design's results on one workload.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The design that ran.
+    pub design: DesignKind,
+    /// Workload label (e.g. "BTree-Small").
+    pub workload: String,
+    /// Collected statistics.
+    pub stats: SimStats,
+    /// Core frequency (for throughput).
+    pub frequency: Frequency,
+}
+
+impl RunReport {
+    /// Transactions per simulated second.
+    pub fn throughput(&self) -> f64 {
+        self.stats.tx_per_second(self.frequency)
+    }
+
+    /// Throughput normalized to a baseline run (Fig. 12/14 bars).
+    pub fn normalized_throughput(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.throughput();
+        if base == 0.0 {
+            0.0
+        } else {
+            self.throughput() / base
+        }
+    }
+
+    /// NVMM write traffic normalized to a baseline run (Fig. 13 bars).
+    pub fn normalized_write_traffic(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.stats.mem.nvmm_writes;
+        if base == 0 {
+            0.0
+        } else {
+            self.stats.mem.nvmm_writes as f64 / base as f64
+        }
+    }
+
+    /// NVMM write-energy reduction vs. a baseline, in percent (Table V).
+    pub fn energy_reduction_pct(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.stats.mem.write_energy_pj;
+        if base == 0.0 {
+            0.0
+        } else {
+            (1.0 - self.stats.mem.write_energy_pj / base) * 100.0
+        }
+    }
+
+    /// Log-bit reduction vs. a baseline, in percent (Table VI).
+    pub fn log_bit_reduction_pct(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.stats.mem.log_bits_programmed;
+        if base == 0 {
+            0.0
+        } else {
+            (1.0 - self.stats.mem.log_bits_programmed as f64 / base as f64) * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, writes: u64, energy: f64, bits: u64) -> RunReport {
+        let mut stats = SimStats::default();
+        stats.cycles = cycles;
+        stats.transactions_committed = 1000;
+        stats.mem.nvmm_writes = writes;
+        stats.mem.write_energy_pj = energy;
+        stats.mem.log_bits_programmed = bits;
+        RunReport {
+            design: DesignKind::MorLogSlde,
+            workload: "test".into(),
+            stats,
+            frequency: Frequency::ghz(3.0),
+        }
+    }
+
+    #[test]
+    fn normalization_math() {
+        let base = report(2_000_000, 1000, 100.0, 10_000);
+        let fast = report(1_000_000, 600, 50.0, 4_000);
+        assert!((fast.normalized_throughput(&base) - 2.0).abs() < 1e-9);
+        assert!((fast.normalized_write_traffic(&base) - 0.6).abs() < 1e-9);
+        assert!((fast.energy_reduction_pct(&base) - 50.0).abs() < 1e-9);
+        assert!((fast.log_bit_reduction_pct(&base) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baselines_do_not_divide_by_zero() {
+        let base = report(0, 0, 0.0, 0);
+        let r = report(1, 1, 1.0, 1);
+        assert_eq!(r.normalized_throughput(&base), 0.0);
+        assert_eq!(r.normalized_write_traffic(&base), 0.0);
+        assert_eq!(r.energy_reduction_pct(&base), 0.0);
+    }
+}

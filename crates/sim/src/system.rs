@@ -1,0 +1,611 @@
+//! The simulated system: cores + caches + log controller + memory
+//! controller, and the cycle engine that drives them.
+
+use std::collections::VecDeque;
+
+use morlog_cache::fwb::FwbScheduler;
+use morlog_cache::hierarchy::{AccessOutcome, EvictionEvent, Hierarchy};
+use morlog_cache::line::WordLogState;
+use morlog_encoding::cell::CellModel;
+use morlog_encoding::slde::SldeCodec;
+use morlog_logging::controller::{LogController, UlogWord};
+use morlog_logging::recovery::{recover, RecoveryReport};
+use morlog_logging::txtable::TransactionTable;
+use morlog_nvm::controller::{MemoryController, ReadTicket};
+use morlog_nvm::layout::MemoryMap;
+use morlog_sim_core::ids::TxKey;
+use morlog_sim_core::{
+    Addr, Cycle, LineAddr, LineData, SimStats, SystemConfig, ThreadId,
+};
+use morlog_workloads::trace::{Op, WorkloadTrace};
+
+use crate::oracle::Oracle;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Ready,
+    BusyUntil(Cycle),
+    WaitRead(ReadTicket, LineAddr),
+    WaitCommit,
+    Done,
+}
+
+#[derive(Debug)]
+struct Core {
+    thread: ThreadId,
+    tx_idx: usize,
+    op_idx: usize,
+    phase: Phase,
+    key: Option<TxKey>,
+    tx_began: bool,
+}
+
+/// One simulated machine running one workload under one design.
+///
+/// # Example
+///
+/// ```
+/// use morlog_sim::System;
+/// use morlog_sim_core::{Addr, DesignKind, SystemConfig};
+/// use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+///
+/// let cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+/// let data_base = System::data_base(&cfg);
+/// let mut wl = WorkloadConfig::test_config(data_base);
+/// wl.total_transactions = 20;
+/// let trace = generate(WorkloadKind::Sps, &wl);
+/// let mut sys = System::new(cfg, &trace);
+/// let stats = sys.run();
+/// assert_eq!(stats.transactions_committed, 20);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    hierarchy: Hierarchy,
+    mc: MemoryController,
+    lc: LogController,
+    fwb: FwbScheduler,
+    cores: Vec<Core>,
+    trace: WorkloadTrace,
+    pending_writebacks: VecDeque<(LineAddr, LineData)>,
+    /// A truncation horizon waiting for the scan's writebacks to reach the
+    /// persist domain (log entries must outlive their updated data's path
+    /// to NVMM).
+    pending_truncation: Option<Cycle>,
+    /// The §III-F transaction table (populated only under
+    /// `TruncationPolicy::TransactionTable`).
+    tx_table: TransactionTable,
+    now: Cycle,
+    committed: u64,
+    tx_stores: u64,
+    tx_loads: u64,
+    store_stall_cycles: u64,
+    /// Cycle at which the last transaction committed (the throughput
+    /// clock stops here; the quiesce tail drains buffers for the traffic
+    /// and energy accounting but is not execution time — under
+    /// delay-persistence, persistence intentionally trails commit).
+    finish_cycle: Option<Cycle>,
+    oracle: Oracle,
+}
+
+impl System {
+    /// Builds the codec a design uses (SLDE vs. CRADE; expansion coding can
+    /// be disabled for the Table VI study).
+    pub fn codec_for(cfg: &SystemConfig, expansion: bool) -> SldeCodec {
+        let model =
+            CellModel::table_iii().with_write_latency_scale(cfg.mem.write_latency_scale);
+        let codec = if cfg.design.uses_crade_only() {
+            SldeCodec::crade(model)
+        } else {
+            SldeCodec::new(model)
+        };
+        codec.with_expansion(expansion)
+    }
+
+    /// The persistent-heap base for a configuration (where workload arenas
+    /// start).
+    pub fn data_base(cfg: &SystemConfig) -> Addr {
+        MemoryMap::table_iii(cfg.mem.log_region_bytes as u64).data_base()
+    }
+
+    /// Constructs the system and pre-loads each thread's initial NVMM
+    /// image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the trace needs more
+    /// threads than the system has cores.
+    pub fn new(cfg: SystemConfig, trace: &WorkloadTrace) -> Self {
+        Self::with_expansion(cfg, trace, true)
+    }
+
+    /// [`System::new`] with control over expansion coding (Table VI).
+    pub fn with_expansion(cfg: SystemConfig, trace: &WorkloadTrace, expansion: bool) -> Self {
+        Self::with_options(cfg, trace, expansion, morlog_encoding::secure::SecureMode::None)
+    }
+
+    /// Full-option constructor: expansion coding (Table VI) and the
+    /// secure-NVMM model (§IV-D).
+    pub fn with_options(
+        cfg: SystemConfig,
+        trace: &WorkloadTrace,
+        expansion: bool,
+        secure: morlog_encoding::secure::SecureMode,
+    ) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        assert!(
+            trace.threads.len() <= cfg.cores.cores,
+            "trace needs {} threads but the system has {} cores",
+            trace.threads.len(),
+            cfg.cores.cores
+        );
+        let codec = Self::codec_for(&cfg, expansion);
+        let map = MemoryMap::table_iii(cfg.mem.log_region_bytes as u64);
+        let mut mc = MemoryController::new(cfg.mem, cfg.cores.frequency, map, codec);
+        mc.set_secure_mode(secure);
+        let mut lc = LogController::new(cfg.design, cfg.log);
+        lc.set_secure_mode(secure);
+        let mut oracle = Oracle::new();
+        for thread in &trace.threads {
+            oracle.record_initial(&thread.initial);
+            for &(addr, value) in &thread.initial {
+                let line_addr = addr.line();
+                let mut line = mc.read_line(line_addr);
+                line.set_word(addr.word_index(), value);
+                mc.write_line_functional(line_addr, line);
+            }
+        }
+        let cores = (0..trace.threads.len())
+            .map(|i| Core {
+                thread: ThreadId::new(i as u8),
+                tx_idx: 0,
+                op_idx: 0,
+                phase: Phase::Ready,
+                key: None,
+                tx_began: false,
+            })
+            .collect();
+        System {
+            hierarchy: Hierarchy::new(&cfg.hierarchy, cfg.cores.cores),
+            lc,
+            fwb: FwbScheduler::new(cfg.hierarchy.force_write_back_period),
+            cores,
+            trace: trace.clone(),
+            pending_writebacks: VecDeque::new(),
+            pending_truncation: None,
+            tx_table: TransactionTable::new(),
+            now: 0,
+            committed: 0,
+            tx_stores: 0,
+            tx_loads: 0,
+            store_stall_cycles: 0,
+            finish_cycle: None,
+            oracle,
+            mc,
+            cfg,
+        }
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The memory controller (for recovery-oriented inspection).
+    pub fn memory(&self) -> &MemoryController {
+        &self.mc
+    }
+
+    /// Transactions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Whether every core has retired its whole trace.
+    pub fn finished(&self) -> bool {
+        self.cores.iter().all(|c| c.phase == Phase::Done)
+    }
+
+    /// Runs to completion (plus quiescing the log buffers) and returns the
+    /// collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system stops making progress (an engine bug, surfaced
+    /// loudly rather than hanging).
+    pub fn run(&mut self) -> SimStats {
+        let mut last_progress = (0u64, 0usize, self.now);
+        while !self.finished() {
+            self.step_cycle();
+            // Watchdog: commits or retired ops must advance.
+            if self.now % 4_000_000 == 0 {
+                let ops: usize = self.cores.iter().map(|c| c.tx_idx * 1000 + c.op_idx).sum();
+                let progress = (self.committed, ops, self.now);
+                assert!(
+                    (progress.0, progress.1) != (last_progress.0, last_progress.1),
+                    "no progress between cycle {} and {}: cores {:?}",
+                    last_progress.2,
+                    self.now,
+                    self.cores.iter().map(|c| c.phase).collect::<Vec<_>>()
+                );
+                last_progress = progress;
+            }
+        }
+        self.finish_cycle = Some(self.now);
+        self.quiesce();
+        self.stats()
+    }
+
+    /// Runs at most `cycles` more cycles; returns `true` if the workload
+    /// finished within them.
+    pub fn run_for(&mut self, cycles: Cycle) -> bool {
+        let deadline = self.now + cycles;
+        while !self.finished() && self.now < deadline {
+            self.step_cycle();
+        }
+        self.finished()
+    }
+
+    fn quiesce(&mut self) {
+        let deadline = self.now + 50_000_000;
+        while !(self.lc.is_quiescent() && self.pending_writebacks.is_empty()) {
+            self.step_cycle();
+            assert!(self.now < deadline, "log controller failed to quiesce");
+        }
+        // Let the write queues drain for the energy/traffic accounting.
+        for _ in 0..100_000 {
+            if self.mc.write_queue_occupancy() == 0 {
+                break;
+            }
+            self.mc.tick(self.now);
+            self.now += 1;
+        }
+    }
+
+    /// Assembles the run's statistics. `cycles` is the execution time up
+    /// to the last commit; buffer-drain tails after completion are
+    /// excluded (see `finish_cycle`).
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            cycles: self.finish_cycle.unwrap_or(self.now),
+            transactions_committed: self.committed,
+            tx_stores: self.tx_stores,
+            tx_loads: self.tx_loads,
+            cache: *self.hierarchy.stats(),
+            mem: *self.mc.stats(),
+            log: {
+                let mut l = *self.lc.stats();
+                l.buffer_full_stall_cycles += self.store_stall_cycles;
+                l
+            },
+        }
+    }
+
+    fn step_cycle(&mut self) {
+        self.mc.tick(self.now);
+        let persisted = self.lc.tick(self.now, &mut self.mc);
+        for p in persisted {
+            if let Some((_, line)) = self.hierarchy.find_l1(p.addr.line()) {
+                if let Some(ext) = line.ext.as_mut() {
+                    let w = p.addr.word_index();
+                    if ext.owner == p.key && ext.word_state[w] == WordLogState::Dirty {
+                        if p.silent {
+                            // Silent log write discarded: no undo anchor in
+                            // the log, so the word must restart from Clean.
+                            ext.word_state[w] = WordLogState::Clean;
+                            ext.dirty_flags[w] = 0;
+                        } else {
+                            ext.word_state[w] = WordLogState::URLog;
+                        }
+                    }
+                }
+            }
+        }
+        self.drain_writebacks();
+        if self.pending_writebacks.is_empty() {
+            if let Some(horizon) = self.pending_truncation.take() {
+                // All scan writebacks are in the persist domain: entries of
+                // transactions committed before the horizon are now safe to
+                // delete.
+                self.lc.truncate(horizon, &mut self.mc);
+            }
+        }
+        if self.fwb.due(self.now) {
+            let wbs = self.hierarchy.force_write_back_scan();
+            self.pending_writebacks.extend(wbs);
+            self.fwb.record_scan(self.now);
+            if self.cfg.log.truncation
+                == morlog_sim_core::config::TruncationPolicy::ForceWriteBack
+            {
+                if let Some(horizon) = self.fwb.safe_commit_horizon() {
+                    self.pending_truncation = Some(horizon);
+                }
+            }
+        }
+        // Table-based truncation runs continuously (here: every 4096
+        // cycles) — a committed transaction's entries are deleted as soon
+        // as its last dirty line persists (§III-F option 2).
+        if self.cfg.log.truncation == morlog_sim_core::config::TruncationPolicy::TransactionTable
+            && self.now % 4096 == 0
+            && self.pending_writebacks.is_empty()
+        {
+            self.lc.truncate_with_table(&self.tx_table, &mut self.mc);
+        }
+        for i in 0..self.cores.len() {
+            self.step_core(i);
+        }
+        self.now += 1;
+    }
+
+    fn drain_writebacks(&mut self) {
+        while let Some(&(addr, data)) = self.pending_writebacks.front() {
+            if !self.lc.on_llc_writeback(addr.index(), self.now, &mut self.mc) {
+                break;
+            }
+            if !self.mc.try_write_data(addr, data, self.now) {
+                self.mc.note_wq_stall();
+                break;
+            }
+            if self.cfg.log.truncation
+                == morlog_sim_core::config::TruncationPolicy::TransactionTable
+            {
+                self.tx_table.on_line_persisted(addr);
+            }
+            self.pending_writebacks.pop_front();
+        }
+    }
+
+    fn handle_events(&mut self, events: Vec<EvictionEvent>) {
+        for ev in events {
+            match ev {
+                EvictionEvent::L1Evicted(line) => self.lc.on_l1_evict(&line, self.now),
+                EvictionEvent::MemoryWriteback { addr, data } => {
+                    self.pending_writebacks.push_back((addr, data));
+                }
+            }
+        }
+    }
+
+    fn step_core(&mut self, i: usize) {
+        match self.cores[i].phase {
+            Phase::Done => {}
+            Phase::BusyUntil(t) => {
+                if self.now >= t {
+                    self.cores[i].phase = Phase::Ready;
+                    self.issue(i);
+                }
+            }
+            Phase::WaitRead(ticket, line) => {
+                if self.mc.take_if_done(ticket, self.now) {
+                    let data = self.mc.read_line(line);
+                    let events = self.hierarchy.fill(i, line, data);
+                    self.handle_events(events);
+                    // Retry the op next cycle with the line resident.
+                    self.cores[i].phase = Phase::BusyUntil(self.now + 1);
+                }
+            }
+            Phase::WaitCommit => {
+                if !self.lc.is_commit_pending(self.cores[i].thread) {
+                    self.finish_commit(i);
+                }
+            }
+            Phase::Ready => self.issue(i),
+        }
+    }
+
+    fn issue(&mut self, i: usize) {
+        let thread = self.cores[i].thread;
+        let tx_idx = self.cores[i].tx_idx;
+        if tx_idx >= self.trace.threads[i].transactions.len() {
+            self.cores[i].phase = Phase::Done;
+            return;
+        }
+        if !self.cores[i].tx_began {
+            // Log backpressure: do not open new transactions while commit
+            // records are piling up behind a full log region (§III-A).
+            if self.lc.commit_backlog() > 4 * self.cores.len() {
+                self.cores[i].phase = Phase::BusyUntil(self.now + 16);
+                return;
+            }
+            let key = self.lc.tx_begin(thread);
+            self.oracle.begin(key);
+            self.cores[i].key = Some(key);
+            self.cores[i].tx_began = true;
+            self.cores[i].phase = Phase::BusyUntil(self.now + 1);
+            return;
+        }
+        let op_idx = self.cores[i].op_idx;
+        let ops_len = self.trace.threads[i].transactions[tx_idx].ops.len();
+        if op_idx >= ops_len {
+            self.start_commit(i);
+            return;
+        }
+        let op = self.trace.threads[i].transactions[tx_idx].ops[op_idx];
+        match op {
+            Op::Compute(cycles) => {
+                self.cores[i].op_idx += 1;
+                self.cores[i].phase = Phase::BusyUntil(self.now + cycles as Cycle);
+            }
+            Op::Load(addr) => {
+                let (outcome, events) = self.hierarchy.access(i, addr.line());
+                self.handle_events(events);
+                match outcome {
+                    AccessOutcome::Miss => {
+                        let ticket = self.mc.enqueue_read(addr.line(), self.now);
+                        self.cores[i].phase = Phase::WaitRead(ticket, addr.line());
+                    }
+                    hit => {
+                        self.tx_loads += 1;
+                        self.cores[i].op_idx += 1;
+                        self.cores[i].phase =
+                            Phase::BusyUntil(self.now + hit.latency(&self.cfg.hierarchy));
+                    }
+                }
+            }
+            Op::Store(addr, value) => self.issue_store(i, addr, value),
+        }
+    }
+
+    fn issue_store(&mut self, i: usize, addr: Addr, value: u64) {
+        let key = self.cores[i].key.expect("store inside a transaction");
+        let line_addr = addr.line();
+        if self.hierarchy.l1_line_mut(i, line_addr).is_none() {
+            // Write-allocate: bring the line into L1 first.
+            let (outcome, events) = self.hierarchy.access(i, line_addr);
+            self.handle_events(events);
+            match outcome {
+                AccessOutcome::Miss => {
+                    let ticket = self.mc.enqueue_read(line_addr, self.now);
+                    self.cores[i].phase = Phase::WaitRead(ticket, line_addr);
+                }
+                hit => {
+                    // Line is now resident; perform the store after the
+                    // lookup latency.
+                    self.cores[i].phase =
+                        Phase::BusyUntil(self.now + hit.latency(&self.cfg.hierarchy));
+                }
+            }
+            return;
+        }
+        let w = addr.word_index();
+        let line = self.hierarchy.l1_line_mut(i, line_addr).expect("resident");
+        let old = line.data.word(w);
+        match self.lc.on_store(key, addr, old, value, line, self.now, &mut self.mc) {
+            Err(_) => {
+                // Buffer backpressure: retry next cycle.
+                self.store_stall_cycles += 1;
+            }
+            Ok(()) => {
+                if self.cfg.log.truncation
+                    == morlog_sim_core::config::TruncationPolicy::TransactionTable
+                {
+                    self.tx_table.on_store(key, line_addr);
+                }
+                let line = self.hierarchy.l1_line_mut(i, line_addr).expect("resident");
+                line.data.set_word(w, value);
+                // Stores do not clear the force-write-back age flag: a line
+                // flagged at scan k is written back at scan k+1 even if it
+                // keeps being re-dirtied, which is what makes "committed
+                // before the last two scans" a safe truncation horizon.
+                line.dirty = true;
+                self.tx_stores += 1;
+                self.oracle.record_write(key, addr, value);
+                self.cores[i].op_idx += 1;
+                // Stores retire through the store buffer at one per cycle
+                // when the line is resident; misses block (write-allocate).
+                self.cores[i].phase = Phase::BusyUntil(self.now + 1);
+            }
+        }
+    }
+
+    fn start_commit(&mut self, i: usize) {
+        let key = self.cores[i].key.expect("commit inside a transaction");
+        let dp = self.cfg.design.delay_persistence();
+        let mut ulog_words = Vec::new();
+        let mut ulog_count = 0u32;
+        if self.cfg.design.is_morlog() {
+            for line in self.hierarchy.l1_lines_mut(i) {
+                let addr = line.addr;
+                let data = line.data;
+                if let Some(ext) = line.ext.as_mut() {
+                    if ext.owner != key {
+                        continue;
+                    }
+                    for w in 0..morlog_sim_core::WORDS_PER_LINE {
+                        if ext.word_state[w] == WordLogState::ULog {
+                            if dp {
+                                // §III-C: redo data stay in the L1 line; the
+                                // ulog counter goes into the commit record.
+                                ulog_count += 1;
+                            } else {
+                                ulog_words.push(UlogWord {
+                                    addr: addr.word_addr(w),
+                                    value: data.word(w),
+                                    dirty_mask: ext.dirty_flags[w],
+                                });
+                                ext.word_state[w] = WordLogState::URLog;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.lc.start_commit(key, ulog_words, ulog_count, self.now);
+        if dp {
+            // Instant commit (§III-C).
+            self.finish_commit(i);
+        } else {
+            self.cores[i].phase = Phase::WaitCommit;
+        }
+    }
+
+    fn finish_commit(&mut self, i: usize) {
+        let key = self.cores[i].key.expect("commit inside a transaction");
+        let dp = self.cfg.design.delay_persistence();
+        if self.cfg.design.is_morlog() {
+            for line in self.hierarchy.l1_lines_mut(i) {
+                if let Some(ext) = line.ext.as_mut() {
+                    if ext.owner != key {
+                        continue;
+                    }
+                    if dp {
+                        // ULog words keep buffering redo data after commit;
+                        // fully-persisted words go back to Clean.
+                        for w in 0..morlog_sim_core::WORDS_PER_LINE {
+                            if ext.word_state[w] != WordLogState::ULog
+                                && ext.word_state[w] != WordLogState::Dirty
+                            {
+                                ext.word_state[w] = WordLogState::Clean;
+                                ext.dirty_flags[w] = 0;
+                            }
+                        }
+                    } else {
+                        ext.reset();
+                    }
+                }
+            }
+        }
+        if self.cfg.log.truncation == morlog_sim_core::config::TruncationPolicy::TransactionTable
+        {
+            self.tx_table.on_commit(key);
+        }
+        self.oracle.mark_committed(key);
+        self.committed += 1;
+        self.cores[i].tx_idx += 1;
+        self.cores[i].op_idx = 0;
+        self.cores[i].tx_began = false;
+        self.cores[i].phase = Phase::BusyUntil(self.now + 1);
+    }
+
+    /// Crash injection: volatile state (caches, log buffers, in-flight
+    /// commits) vanishes; the NVMM image and the log ring — including the
+    /// ADR-protected write queue, already applied at acceptance — survive.
+    pub fn crash(&mut self) {
+        self.hierarchy.invalidate_all();
+        self.lc.on_crash();
+        self.tx_table.clear();
+        self.pending_writebacks.clear();
+        for core in &mut self.cores {
+            core.phase = Phase::Done;
+        }
+    }
+
+    /// Runs the §III-E recovery routine over the surviving log ring.
+    pub fn recover(&mut self) -> RecoveryReport {
+        recover(&mut self.mc, self.cfg.design.delay_persistence())
+    }
+
+    /// Checks atomic persistence against the oracle after crash+recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns the oracle's description of the first violated word.
+    pub fn verify_recovery(&self, report: &RecoveryReport) -> Result<(), String> {
+        self.oracle.verify(&self.mc, report, !self.cfg.design.delay_persistence())
+    }
+}

@@ -1,0 +1,89 @@
+//! Configuration-space smoke tests: unusual but legal configurations must
+//! run to completion and stay crash-consistent.
+
+use morlog_sim::System;
+use morlog_sim_core::{DesignKind, SystemConfig};
+use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+
+fn run_with(mut tweak: impl FnMut(&mut SystemConfig), design: DesignKind) {
+    let mut cfg = SystemConfig::for_design(design);
+    tweak(&mut cfg);
+    cfg.validate().expect("tweaked config stays valid");
+    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+    wl.total_transactions = 40;
+    wl.threads = wl.threads.min(cfg.cores.cores);
+    let trace = generate(WorkloadKind::Tpcc, &wl);
+    let mut sys = System::new(cfg, &trace);
+    let stats = sys.run();
+    assert_eq!(stats.transactions_committed, 40);
+}
+
+#[test]
+fn single_core_single_channel() {
+    run_with(
+        |c| {
+            c.cores.cores = 1;
+            c.mem.channels = 1;
+            c.mem.banks = 1;
+        },
+        DesignKind::MorLogSlde,
+    );
+}
+
+#[test]
+fn tiny_write_queue() {
+    run_with(|c| c.mem.write_queue_entries = 2, DesignKind::MorLogDp);
+}
+
+#[test]
+fn one_entry_buffers() {
+    run_with(
+        |c| {
+            c.log.undo_redo_entries = 1;
+            c.log.redo_entries = 1;
+        },
+        DesignKind::MorLogSlde,
+    );
+}
+
+#[test]
+fn minimal_eviction_window() {
+    run_with(|c| c.log.eager_evict_cycles = 1, DesignKind::MorLogCrade);
+}
+
+#[test]
+fn slow_cells_32x() {
+    run_with(|c| c.mem.write_latency_scale = 32.0, DesignKind::FwbCrade);
+}
+
+#[test]
+fn many_log_slices() {
+    run_with(|c| c.mem.log_slices = 16, DesignKind::MorLogDp);
+}
+
+#[test]
+fn invalid_configs_are_rejected() {
+    let mut cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+    cfg.log.eager_evict_cycles = 1_000;
+    assert!(cfg.validate().is_err());
+    let mut cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+    cfg.mem.log_slices = 0;
+    assert!(cfg.validate().is_err());
+    let mut cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+    cfg.mem.write_latency_scale = -1.0;
+    assert!(cfg.validate().is_err());
+}
+
+#[test]
+fn crash_under_tiny_write_queue() {
+    let mut cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+    cfg.mem.write_queue_entries = 2;
+    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+    wl.total_transactions = 40;
+    let trace = generate(WorkloadKind::Queue, &wl);
+    let mut sys = System::new(cfg, &trace);
+    sys.run_for(15_000);
+    sys.crash();
+    let report = sys.recover();
+    sys.verify_recovery(&report).unwrap();
+}

@@ -1,0 +1,82 @@
+//! End-to-end engine tests: every design runs every workload to completion,
+//! recovery after a clean run is a no-op, and basic performance orderings
+//! hold.
+
+use morlog_sim::System;
+use morlog_sim_core::{DesignKind, SystemConfig};
+use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+
+fn small_run(design: DesignKind, kind: WorkloadKind, txs: usize) -> morlog_sim_core::SimStats {
+    let cfg = SystemConfig::for_design(design);
+    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+    wl.total_transactions = txs;
+    let trace = generate(kind, &wl);
+    let mut sys = System::new(cfg, &trace);
+    let stats = sys.run();
+    assert_eq!(stats.transactions_committed as usize, trace.total_transactions());
+    stats
+}
+
+#[test]
+fn all_designs_complete_sps() {
+    for design in DesignKind::ALL {
+        let stats = small_run(design, WorkloadKind::Sps, 40);
+        assert!(stats.cycles > 0, "{design}");
+        assert!(stats.mem.nvmm_writes > 0, "{design} must write NVMM");
+    }
+}
+
+#[test]
+fn all_workloads_complete_under_morlog_slde() {
+    for kind in WorkloadKind::ALL {
+        let stats = small_run(DesignKind::MorLogSlde, kind, 60);
+        assert!(stats.tx_stores > 0 || kind == WorkloadKind::Ycsb, "{kind}");
+    }
+}
+
+#[test]
+fn clean_run_recovery_is_consistent() {
+    for design in [DesignKind::FwbCrade, DesignKind::MorLogSlde, DesignKind::MorLogDp] {
+        let cfg = SystemConfig::for_design(design);
+        let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+        wl.total_transactions = 50;
+        let trace = generate(WorkloadKind::Hash, &wl);
+        let mut sys = System::new(cfg, &trace);
+        sys.run();
+        sys.crash();
+        let report = sys.recover();
+        sys.verify_recovery(&report)
+            .unwrap_or_else(|e| panic!("{design}: {e}"));
+    }
+}
+
+#[test]
+fn morlog_writes_fewer_log_entries_than_fwb() {
+    let fwb = small_run(DesignKind::FwbCrade, WorkloadKind::Tpcc, 80);
+    let morlog = small_run(DesignKind::MorLogCrade, WorkloadKind::Tpcc, 80);
+    assert!(
+        morlog.log.entries_written < fwb.log.entries_written,
+        "morlog {} vs fwb {}",
+        morlog.log.entries_written,
+        fwb.log.entries_written
+    );
+}
+
+#[test]
+fn slde_reduces_log_bits_vs_crade() {
+    let crade = small_run(DesignKind::MorLogCrade, WorkloadKind::Sps, 60);
+    let slde = small_run(DesignKind::MorLogSlde, WorkloadKind::Sps, 60);
+    assert!(
+        slde.mem.log_bits_programmed < crade.mem.log_bits_programmed,
+        "slde {} vs crade {}",
+        slde.mem.log_bits_programmed,
+        crade.mem.log_bits_programmed
+    );
+}
+
+#[test]
+fn determinism_same_seed_same_stats() {
+    let a = small_run(DesignKind::MorLogDp, WorkloadKind::Queue, 50);
+    let b = small_run(DesignKind::MorLogDp, WorkloadKind::Queue, 50);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,302 @@
+//! BTree: insert/delete nodes in a B-tree (Table IV).
+//!
+//! A B+-tree: every key lives in a leaf; internal nodes hold routing
+//! separators. Insertion is top-down with pre-emptive splits; deletion
+//! removes from the leaf without rebalancing (the write pattern of
+//! interest — key shifting and header updates — is the same, and underflow
+//! is rare at these sizes).
+//!
+//! Node layout (`W = node_bytes/8` words): word 0 packs `count | leaf<<32`;
+//! keys occupy words `1..=K`; children occupy the remaining `K+1` words,
+//! with `K = (W-2)/2` (64 B node: 3 keys + 4 children; 4 KB node: 255 keys
+//! + 256 children).
+
+use morlog_sim_core::Addr;
+
+use crate::registry::WorkloadConfig;
+use crate::trace::ThreadTrace;
+use crate::workspace::Workspace;
+
+struct BTree {
+    node_bytes: u64,
+    max_keys: u64,
+    root_p: Addr,
+}
+
+impl BTree {
+    fn key_off(&self, i: u64) -> u64 {
+        8 * (1 + i)
+    }
+
+    fn child_off(&self, i: u64) -> u64 {
+        8 * (1 + self.max_keys + i)
+    }
+
+    fn header(&self, ws: &mut Workspace, node: Addr) -> (u64, bool) {
+        let h = ws.load(node);
+        (h & 0xFFFF_FFFF, (h >> 32) != 0)
+    }
+
+    fn set_header(&self, ws: &mut Workspace, node: Addr, count: u64, leaf: bool) {
+        ws.store(node, count | (leaf as u64) << 32);
+    }
+
+    fn new_node(&self, ws: &mut Workspace, leaf: bool) -> Addr {
+        let node = ws.pmalloc(self.node_bytes);
+        self.set_header(ws, node, 0, leaf);
+        node
+    }
+
+    /// Splits full child `ci` of `parent`; `parent` must not be full.
+    fn split_child(&self, ws: &mut Workspace, parent: Addr, ci: u64) {
+        let child = Addr::new(ws.peek(parent.offset(self.child_off(ci))));
+        let (ccount, cleaf) = self.header(ws, child);
+        debug_assert_eq!(ccount, self.max_keys);
+        let mid = self.max_keys / 2;
+        let median = ws.load(child.offset(self.key_off(mid)));
+        let right = self.new_node(ws, cleaf);
+        if cleaf {
+            // B+-tree leaf split: the separator is *copied* up; keys
+            // `mid..` move to the right sibling.
+            let moved = self.max_keys - mid;
+            for i in 0..moved {
+                let k = ws.load(child.offset(self.key_off(mid + i)));
+                ws.store(right.offset(self.key_off(i)), k);
+            }
+            self.set_header(ws, right, moved, true);
+            self.set_header(ws, child, mid, true);
+        } else {
+            // Internal split: the median moves up; keys `mid+1..` move.
+            let moved = self.max_keys - mid - 1;
+            for i in 0..moved {
+                let k = ws.load(child.offset(self.key_off(mid + 1 + i)));
+                ws.store(right.offset(self.key_off(i)), k);
+            }
+            for i in 0..=moved {
+                let c = ws.load(child.offset(self.child_off(mid + 1 + i)));
+                ws.store(right.offset(self.child_off(i)), c);
+            }
+            self.set_header(ws, right, moved, false);
+            self.set_header(ws, child, mid, false);
+        }
+        // Shift parent keys/children right of ci and insert the median.
+        let (pcount, pleaf) = self.header(ws, parent);
+        debug_assert!(!pleaf);
+        let mut i = pcount;
+        while i > ci {
+            let k = ws.load(parent.offset(self.key_off(i - 1)));
+            ws.store(parent.offset(self.key_off(i)), k);
+            let c = ws.load(parent.offset(self.child_off(i)));
+            ws.store(parent.offset(self.child_off(i + 1)), c);
+            i -= 1;
+        }
+        ws.store(parent.offset(self.key_off(ci)), median);
+        ws.store(parent.offset(self.child_off(ci + 1)), right.as_u64());
+        self.set_header(ws, parent, pcount + 1, false);
+    }
+
+    fn insert(&self, ws: &mut Workspace, key: u64) {
+        let mut root = Addr::new(ws.peek(self.root_p));
+        let (rcount, _) = self.header(ws, root);
+        if rcount == self.max_keys {
+            let new_root = self.new_node(ws, false);
+            ws.store(new_root.offset(self.child_off(0)), root.as_u64());
+            ws.store(self.root_p, new_root.as_u64());
+            self.split_child(ws, new_root, 0);
+            root = new_root;
+        }
+        let mut node = root;
+        loop {
+            let (count, leaf) = self.header(ws, node);
+            if leaf {
+                // Shift keys greater than `key` right and insert.
+                let mut i = count;
+                while i > 0 {
+                    let k = ws.load(node.offset(self.key_off(i - 1)));
+                    if k <= key {
+                        break;
+                    }
+                    ws.store(node.offset(self.key_off(i)), k);
+                    i -= 1;
+                }
+                ws.store(node.offset(self.key_off(i)), key);
+                self.set_header(ws, node, count + 1, true);
+                return;
+            }
+            // Find the child to descend into.
+            let mut ci = 0;
+            while ci < count {
+                let k = ws.load(node.offset(self.key_off(ci)));
+                if key < k {
+                    break;
+                }
+                ci += 1;
+            }
+            let child = Addr::new(ws.load(node.offset(self.child_off(ci))));
+            let (ccount, _) = self.header(ws, child);
+            if ccount == self.max_keys {
+                self.split_child(ws, node, ci);
+                // Re-evaluate which side of the promoted median to take.
+                let median = ws.peek(node.offset(self.key_off(ci)));
+                let ci = if key < median { ci } else { ci + 1 };
+                node = Addr::new(ws.peek(node.offset(self.child_off(ci))));
+            } else {
+                node = child;
+            }
+        }
+    }
+
+    /// Deletes `key` from the leaf that would contain it, if present.
+    /// Returns whether a key was removed.
+    fn delete(&self, ws: &mut Workspace, key: u64) -> bool {
+        let mut node = Addr::new(ws.peek(self.root_p));
+        loop {
+            let (count, leaf) = self.header(ws, node);
+            if leaf {
+                for i in 0..count {
+                    let k = ws.load(node.offset(self.key_off(i)));
+                    if k == key {
+                        for j in i..count - 1 {
+                            let next = ws.load(node.offset(self.key_off(j + 1)));
+                            ws.store(node.offset(self.key_off(j)), next);
+                        }
+                        self.set_header(ws, node, count - 1, true);
+                        return true;
+                    }
+                }
+                return false;
+            }
+            let mut ci = 0;
+            while ci < count {
+                let k = ws.load(node.offset(self.key_off(ci)));
+                if key < k {
+                    break;
+                }
+                ci += 1;
+            }
+            node = Addr::new(ws.load(node.offset(self.child_off(ci))));
+        }
+    }
+
+    /// In-order walk over the leaf keys in the shadow state (test oracle).
+    #[cfg(test)]
+    fn collect(&self, ws: &Workspace, node: Addr, out: &mut Vec<u64>) {
+        let h = ws.peek(node);
+        let (count, leaf) = (h & 0xFFFF_FFFF, (h >> 32) != 0);
+        if leaf {
+            for i in 0..count {
+                out.push(ws.peek(node.offset(self.key_off(i))));
+            }
+            return;
+        }
+        for i in 0..=count {
+            let c = Addr::new(ws.peek(node.offset(self.child_off(i))));
+            self.collect(ws, c, out);
+        }
+    }
+}
+
+/// Generates one thread's B-tree trace.
+pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
+    let (ws, _) = generate_inner(cfg, thread);
+    ws.finish()
+}
+
+fn generate_inner(cfg: &WorkloadConfig, thread: usize) -> (Workspace, BTree) {
+    let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(3));
+    let node_bytes = cfg.dataset.bytes();
+    let words = node_bytes / 8;
+    let tree = BTree { node_bytes, max_keys: (words - 2) / 2, root_p: Addr::new(0) };
+    let root_p = ws.pmalloc(64);
+    let tree = BTree { root_p, ..tree };
+    let first = tree.new_node(&mut ws, true);
+    ws.store(root_p, first.as_u64());
+
+    let key_space = 1 << 20;
+    let mut live: Vec<u64> = Vec::new();
+    for _ in 0..cfg.per_thread() {
+        let insert = live.len() < 32 || ws.rng().gen_bool(0.55);
+        ws.begin_tx();
+        if insert {
+            let key = 1 + ws.rng().gen_range(key_space);
+            tree.insert(&mut ws, key);
+            live.push(key);
+        } else {
+            let idx = ws.rng().gen_range(live.len() as u64) as usize;
+            let key = live.swap_remove(idx);
+            tree.delete(&mut ws, key);
+        }
+        ws.compute(25);
+        ws.end_tx();
+    }
+    (ws, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetSize, WorkloadConfig};
+
+    fn cfg(n: usize, dataset: DatasetSize) -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 1,
+            total_transactions: n,
+            dataset,
+            seed: 5,
+            data_base: Addr::new(0x1000_0000),
+        }
+    }
+
+    /// Replays inserts/deletes against a reference multiset and checks the
+    /// tree's in-order walk stays sorted and complete.
+    fn check_structure(dataset: DatasetSize, n: usize) {
+        let c = cfg(n, dataset);
+        let mut ws = Workspace::new(c.data_base, 0, c.seed.wrapping_add(3));
+        let node_bytes = c.dataset.bytes();
+        let words = node_bytes / 8;
+        let root_p = ws.pmalloc(64);
+        let tree = BTree { node_bytes, max_keys: (words - 2) / 2, root_p };
+        let first = tree.new_node(&mut ws, true);
+        ws.store(root_p, first.as_u64());
+
+        let mut reference: Vec<u64> = Vec::new();
+        let mut rng = morlog_sim_core::DetRng::new(99);
+        for _ in 0..n {
+            ws.begin_tx();
+            if reference.len() < 16 || rng.gen_bool(0.6) {
+                let key = 1 + rng.gen_range(10_000);
+                tree.insert(&mut ws, key);
+                reference.push(key);
+            } else {
+                let idx = rng.gen_range(reference.len() as u64) as usize;
+                let key = reference.swap_remove(idx);
+                assert!(tree.delete(&mut ws, key), "key {key} must be present");
+            }
+            ws.end_tx();
+        }
+        let mut walked = Vec::new();
+        let root = Addr::new(ws.peek(root_p));
+        tree.collect(&ws, root, &mut walked);
+        let mut expected = reference.clone();
+        expected.sort_unstable();
+        assert!(walked.windows(2).all(|w| w[0] <= w[1]), "in-order walk sorted");
+        assert_eq!(walked, expected, "tree holds exactly the live keys");
+    }
+
+    #[test]
+    fn structure_small_nodes() {
+        check_structure(DatasetSize::Small, 800);
+    }
+
+    #[test]
+    fn structure_large_nodes() {
+        check_structure(DatasetSize::Large, 600);
+    }
+
+    #[test]
+    fn generates_requested_transactions() {
+        let t = generate_thread(&cfg(100, DatasetSize::Small), 0);
+        assert_eq!(t.transactions.len(), 100);
+        assert!(t.transactions.iter().any(|tx| tx.stores() > 2), "splits and shifts");
+    }
+}

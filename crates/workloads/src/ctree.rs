@@ -1,0 +1,232 @@
+//! Ctree: a crit-bit (radix) tree, one of the paper's Fig. 3/Fig. 5
+//! WHISPER profiling applications.
+//!
+//! Internal nodes hold a critical-bit index and two children; leaves hold a
+//! key and payload. Insertion walks by bits, finds the highest differing
+//! bit against the reached leaf, and splices a new internal node at the
+//! right depth; deletion splices the leaf's parent out. Both are short,
+//! pointer-chasing transactions — BTree-like write patterns with smaller
+//! fanout.
+//!
+//! Node layout (leaf): word 0 = 1 (tag), 1 = key, rest payload.
+//! Node layout (internal): word 0 = 0 (tag), 1 = crit-bit index,
+//! 2 = left child, 3 = right child.
+
+use morlog_sim_core::Addr;
+
+use crate::registry::WorkloadConfig;
+use crate::trace::ThreadTrace;
+use crate::workspace::Workspace;
+
+const TAG: u64 = 0;
+const KEY: u64 = 8;
+const BIT: u64 = 8;
+const LEFT: u64 = 16;
+const RIGHT: u64 = 24;
+
+struct CritBit {
+    node_bytes: u64,
+    root_p: Addr,
+}
+
+impl CritBit {
+    fn is_leaf(&self, ws: &mut Workspace, n: u64) -> bool {
+        ws.load(Addr::new(n + TAG)) == 1
+    }
+
+    fn new_leaf(&self, ws: &mut Workspace, key: u64) -> u64 {
+        let n = ws.pmalloc(self.node_bytes).as_u64();
+        ws.store(Addr::new(n + TAG), 1);
+        ws.store(Addr::new(n + KEY), key);
+        n
+    }
+
+    fn walk(&self, ws: &mut Workspace, key: u64) -> u64 {
+        let mut n = ws.peek(self.root_p);
+        while n != 0 && !self.is_leaf(ws, n) {
+            let bit = ws.load(Addr::new(n + BIT));
+            let side = if (key >> bit) & 1 == 0 { LEFT } else { RIGHT };
+            n = ws.load(Addr::new(n + side));
+        }
+        n
+    }
+
+    fn insert(&self, ws: &mut Workspace, key: u64) {
+        let reached = self.walk(ws, key);
+        if reached == 0 {
+            let leaf = self.new_leaf(ws, key);
+            ws.store(self.root_p, leaf);
+            return;
+        }
+        let reached_key = ws.peek(Addr::new(reached + KEY));
+        if reached_key == key {
+            return; // already present
+        }
+        let crit = 63 - (reached_key ^ key).leading_zeros() as u64;
+        let leaf = self.new_leaf(ws, key);
+        // Descend again, stopping where the crit bit outranks the node's.
+        let mut parent: Option<(u64, u64)> = None; // (node, side)
+        let mut n = ws.peek(self.root_p);
+        while n != 0 && !self.is_leaf(ws, n) {
+            let bit = ws.load(Addr::new(n + BIT));
+            if bit < crit {
+                break;
+            }
+            let side = if (key >> bit) & 1 == 0 { LEFT } else { RIGHT };
+            parent = Some((n, side));
+            n = ws.load(Addr::new(n + side));
+        }
+        let internal = ws.pmalloc(self.node_bytes).as_u64();
+        ws.store(Addr::new(internal + TAG), 0);
+        ws.store(Addr::new(internal + BIT), crit);
+        let (lo, hi) = if (key >> crit) & 1 == 0 { (leaf, n) } else { (n, leaf) };
+        ws.store(Addr::new(internal + LEFT), lo);
+        ws.store(Addr::new(internal + RIGHT), hi);
+        match parent {
+            Some((p, side)) => ws.store(Addr::new(p + side), internal),
+            None => ws.store(self.root_p, internal),
+        }
+    }
+
+    fn delete(&self, ws: &mut Workspace, key: u64) -> bool {
+        let mut grand: Option<(u64, u64)> = None;
+        let mut parent: Option<(u64, u64)> = None;
+        let mut n = ws.peek(self.root_p);
+        while n != 0 && !self.is_leaf(ws, n) {
+            let bit = ws.load(Addr::new(n + BIT));
+            let side = if (key >> bit) & 1 == 0 { LEFT } else { RIGHT };
+            grand = parent;
+            parent = Some((n, side));
+            n = ws.load(Addr::new(n + side));
+        }
+        if n == 0 || ws.load(Addr::new(n + KEY)) != key {
+            return false;
+        }
+        match parent {
+            None => ws.store(self.root_p, 0),
+            Some((p, side)) => {
+                // Splice the parent out: its other child replaces it.
+                let other = if side == LEFT { RIGHT } else { LEFT };
+                let sibling = ws.load(Addr::new(p + other));
+                match grand {
+                    Some((g, gside)) => ws.store(Addr::new(g + gside), sibling),
+                    None => ws.store(self.root_p, sibling),
+                }
+                ws.pfree(Addr::new(p), self.node_bytes);
+            }
+        }
+        ws.pfree(Addr::new(n), self.node_bytes);
+        true
+    }
+
+    #[cfg(test)]
+    fn collect(&self, ws: &Workspace, n: u64, out: &mut Vec<u64>) {
+        if n == 0 {
+            return;
+        }
+        if ws.peek(Addr::new(n + TAG)) == 1 {
+            out.push(ws.peek(Addr::new(n + KEY)));
+            return;
+        }
+        self.collect(ws, ws.peek(Addr::new(n + LEFT)), out);
+        self.collect(ws, ws.peek(Addr::new(n + RIGHT)), out);
+    }
+}
+
+/// Generates one thread's crit-bit-tree trace.
+pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
+    let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(10));
+    let root_p = ws.pmalloc(64);
+    let tree = CritBit { node_bytes: cfg.dataset.bytes(), root_p };
+    let key_space = 1 << 18;
+    let mut live: Vec<u64> = Vec::new();
+    for _ in 0..cfg.per_thread() {
+        let insert = live.len() < 32 || ws.rng().gen_bool(0.55);
+        ws.begin_tx();
+        if insert {
+            let key = 1 + ws.rng().gen_range(key_space);
+            tree.insert(&mut ws, key);
+            live.push(key);
+        } else {
+            let idx = ws.rng().gen_range(live.len() as u64) as usize;
+            let key = live.swap_remove(idx);
+            tree.delete(&mut ws, key);
+        }
+        ws.compute(20);
+        ws.end_tx();
+    }
+    ws.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetSize, WorkloadConfig};
+    use morlog_sim_core::DetRng;
+
+    #[test]
+    fn tree_holds_exactly_the_live_keys() {
+        let mut ws = Workspace::new(Addr::new(0x1000_0000), 0, 1);
+        let root_p = ws.pmalloc(64);
+        let tree = CritBit { node_bytes: 64, root_p };
+        let mut rng = DetRng::new(6);
+        let mut live: Vec<u64> = Vec::new();
+        ws.begin_tx();
+        for step in 0..600 {
+            if live.len() < 10 || rng.gen_bool(0.6) {
+                let k = 1 + rng.gen_range(5_000);
+                tree.insert(&mut ws, k);
+                if !live.contains(&k) {
+                    live.push(k);
+                }
+            } else {
+                let idx = rng.gen_range(live.len() as u64) as usize;
+                let k = live.swap_remove(idx);
+                assert!(tree.delete(&mut ws, k), "step {step}: key {k} present");
+            }
+        }
+        ws.end_tx();
+        let mut walked = Vec::new();
+        tree.collect(&ws, ws.peek(root_p), &mut walked);
+        walked.sort_unstable();
+        live.sort_unstable();
+        assert_eq!(walked, live);
+    }
+
+    #[test]
+    fn crit_bit_ordering_invariant() {
+        // Parent crit-bit indices strictly decrease along any path.
+        let mut ws = Workspace::new(Addr::new(0x1000_0000), 0, 2);
+        let root_p = ws.pmalloc(64);
+        let tree = CritBit { node_bytes: 64, root_p };
+        ws.begin_tx();
+        for k in [5u64, 9, 1, 12, 7, 3, 200, 77, 41] {
+            tree.insert(&mut ws, k);
+        }
+        ws.end_tx();
+        fn check(ws: &Workspace, n: u64, bound: u64) {
+            if n == 0 || ws.peek(Addr::new(n + TAG)) == 1 {
+                return;
+            }
+            let bit = ws.peek(Addr::new(n + BIT));
+            assert!(bit < bound, "crit bits decrease along paths");
+            check(ws, ws.peek(Addr::new(n + LEFT)), bit.max(1));
+            check(ws, ws.peek(Addr::new(n + RIGHT)), bit.max(1));
+        }
+        check(&ws, ws.peek(root_p), 64);
+    }
+
+    #[test]
+    fn generates_trace() {
+        let cfg = WorkloadConfig {
+            threads: 1,
+            total_transactions: 150,
+            dataset: DatasetSize::Small,
+            seed: 3,
+            data_base: Addr::new(0x1000_0000),
+        };
+        let t = generate_thread(&cfg, 0);
+        assert_eq!(t.transactions.len(), 150);
+        assert!(t.transactions.iter().any(|tx| tx.stores() >= 4));
+    }
+}

@@ -1,0 +1,175 @@
+//! Echo: a scalable key-value store (Table IV, from WHISPER).
+//!
+//! Echo is a versioned KV store: every put allocates a new version record,
+//! links it into the key's chain, and bumps a global timestamp. The
+//! timestamp and bucket heads are rewritten constantly — the temporal
+//! locality that makes morphable logging shine on the macro-benchmarks
+//! (§VI-D).
+
+use morlog_sim_core::{Addr, WORD_BYTES};
+
+use crate::registry::WorkloadConfig;
+use crate::trace::ThreadTrace;
+use crate::workspace::Workspace;
+
+const BUCKETS: u64 = 2048;
+/// Version record layout: key, timestamp, prev-version, value words.
+const KEY: u64 = 0;
+const TS: u64 = 8;
+const PREV: u64 = 16;
+const VALUE: u64 = 24;
+
+fn hash(key: u64) -> u64 {
+    (key.wrapping_mul(0xFF51_AFD7_ED55_8CCD) >> 17) % BUCKETS
+}
+
+/// Generates one thread's Echo trace.
+pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
+    let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(6));
+    let rec_bytes = cfg.dataset.bytes();
+    let value_words = (rec_bytes - VALUE) / WORD_BYTES as u64;
+    let table = ws.pmalloc(BUCKETS * 8);
+    let meta = ws.pmalloc(64);
+    let ts_p = meta; // global timestamp
+    let puts_p = meta.offset(8); // operation counter
+    let key_space: u64 = 4096;
+
+    // Echo clients batch several operations per durable transaction; the
+    // global timestamp word is rewritten once per put, giving the long
+    // within-transaction write distances of Fig. 3.
+    const OPS_PER_TX: usize = 8;
+    for _ in 0..cfg.per_thread() {
+        ws.begin_tx();
+        for _ in 0..OPS_PER_TX {
+        let key = 1 + ws.rng().gen_range(key_space);
+        let bucket = table.offset(hash(key) * 8);
+        let put = ws.rng().gen_bool(0.8);
+        if put {
+            let ts = ws.load(ts_p);
+            ws.store(ts_p, ts + 1);
+            // Update in place when the key exists (the common KV-store
+            // case): rewrite the value words and stamp the new version.
+            let mut cur = ws.load(bucket);
+            let mut found = 0u64;
+            let mut hops = 0;
+            while cur != 0 && hops < 16 {
+                let k = ws.load(Addr::new(cur + KEY));
+                if k == key {
+                    found = cur;
+                    break;
+                }
+                cur = ws.load(Addr::new(cur + PREV));
+                hops += 1;
+            }
+            let rec = if found != 0 {
+                Addr::new(found)
+            } else {
+                let rec = ws.pmalloc(rec_bytes);
+                ws.store(rec.offset(KEY), key);
+                let head = ws.load(bucket);
+                ws.store(rec.offset(PREV), head);
+                ws.store(bucket, rec.as_u64());
+                rec
+            };
+            ws.store(rec.offset(TS), ts + 1);
+            // Values are textual-ish small words; rewrites of an existing
+            // record change only a couple of bytes (Fig. 5's clean bytes).
+            for w in 0..value_words {
+                ws.store(rec.offset(VALUE + w * 8), 0x2020_2020_2020_0000 | (ts + key + w) % 997);
+            }
+            let p = ws.load(puts_p);
+            ws.store(puts_p, p + 1);
+        } else {
+            // Get: chase the newest version of the key (loads only).
+            let mut cur = ws.load(bucket);
+            let mut hops = 0;
+            while cur != 0 && hops < 16 {
+                let k = ws.load(Addr::new(cur + KEY));
+                if k == key {
+                    let _v = ws.load(Addr::new(cur + VALUE));
+                    break;
+                }
+                cur = ws.load(Addr::new(cur + PREV));
+                hops += 1;
+            }
+        }
+        ws.compute(8);
+        }
+        ws.end_tx();
+    }
+    ws.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetSize, WorkloadConfig};
+    use crate::trace::Op;
+
+    fn cfg(n: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 1,
+            total_transactions: n,
+            dataset: DatasetSize::Small,
+            seed: 17,
+            data_base: Addr::new(0x1000_0000),
+        }
+    }
+
+    #[test]
+    fn puts_dominate_and_bump_timestamp() {
+        let t = generate_thread(&cfg(300), 0);
+        let puts = t.transactions.iter().filter(|tx| tx.stores() > 0).count();
+        assert!(puts > 290, "batches of 8 ops nearly always contain a put ({puts})");
+        // The timestamp word is the first store of every put.
+        let ts_addr = t
+            .transactions
+            .iter()
+            .find_map(|tx| {
+                tx.ops.iter().find_map(|op| match op {
+                    Op::Store(a, _) => Some(*a),
+                    _ => None,
+                })
+            })
+            .unwrap();
+        let mut last_ts = 0;
+        for tx in &t.transactions {
+            for op in &tx.ops {
+                if let Op::Store(a, v) = op {
+                    if *a == ts_addr {
+                        assert_eq!(*v, last_ts + 1, "timestamp strictly increments");
+                        last_ts = *v;
+                    }
+                }
+            }
+        }
+        assert!(last_ts > 0);
+    }
+
+    #[test]
+    fn timestamp_word_repeats_within_transactions() {
+        // The Fig. 3 motivation: the same word is updated more than once in
+        // a transaction, with long distances between the updates.
+        let t = generate_thread(&cfg(100), 0);
+        let ts_addr = t.transactions[0]
+            .ops
+            .iter()
+            .find_map(|op| match op {
+                Op::Store(a, _) => Some(*a),
+                _ => None,
+            })
+            .unwrap();
+        let repeats = t
+            .transactions
+            .iter()
+            .filter(|tx| {
+                tx.ops
+                    .iter()
+                    .filter(|op| matches!(op, Op::Store(a, _) if *a == ts_addr))
+                    .count()
+                    > 1
+            })
+            .count();
+        assert!(repeats > 80, "most batches bump the timestamp several times ({repeats})");
+    }
+}

@@ -1,0 +1,40 @@
+//! The evaluation workloads (Table IV): transactional store/load traces for
+//! the six micro-benchmarks (BTree, Hash, Queue, RBTree, SDG, SPS) and the
+//! three WHISPER-style macro-benchmarks (Echo, YCSB, TPC-C new-order).
+//!
+//! Workloads run their real data-structure logic against a shadow memory
+//! and record every transactional load and store (with actual values) into
+//! a [`trace::WorkloadTrace`]; the simulator replays those traces on the
+//! simulated cores. Values are real so that the clean-byte and
+//! pattern-compressibility behaviour the paper measures (Fig. 5, Table II)
+//! emerges from the data structures rather than from synthetic knobs.
+//!
+//! Memory is allocated with a persistent-heap allocator ([`heap`]), using
+//! `pmalloc`/`pfree` semantics like the paper's modified WHISPER suite, and
+//! every thread works in its own arena (isolation comes from software
+//! locking in the paper; partitioning gives the same no-write-sharing
+//! property).
+
+#![deny(missing_docs)]
+
+pub mod btree;
+pub mod ctree;
+pub mod echo;
+pub mod hashmap;
+pub mod heap;
+pub mod memcached;
+pub mod queue;
+pub mod rbtree;
+pub mod redis;
+pub mod registry;
+pub mod sdg;
+pub mod sps;
+pub mod tpcc;
+pub mod vacation;
+pub mod trace;
+pub mod workspace;
+pub mod ycsb;
+
+pub use registry::{generate, DatasetSize, WorkloadConfig, WorkloadKind};
+pub use trace::{Op, Transaction, ThreadTrace, WorkloadTrace};
+pub use workspace::Workspace;

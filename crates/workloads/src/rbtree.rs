@@ -1,0 +1,368 @@
+//! RBTree: insert/delete nodes in a red-black tree (Table IV).
+//!
+//! Insertion implements the full red-black fixup (recolouring and
+//! rotations, the pointer-heavy write pattern the benchmark exists for).
+//! Deletion is a plain BST removal without rebalancing — the tree may lose
+//! strict balance under heavy deletion, but the transactional write
+//! pattern (key/pointer/colour stores) is preserved, which is what the
+//! evaluation measures.
+//!
+//! Node layout: word 0 = key, 1 = colour (1 = red), 2 = left, 3 = right,
+//! 4 = parent, remaining words = payload.
+
+use morlog_sim_core::Addr;
+
+use crate::registry::WorkloadConfig;
+use crate::trace::ThreadTrace;
+use crate::workspace::Workspace;
+
+const KEY: u64 = 0;
+const COLOR: u64 = 8;
+const LEFT: u64 = 16;
+const RIGHT: u64 = 24;
+const PARENT: u64 = 32;
+const PAYLOAD: u64 = 40;
+
+const RED: u64 = 1;
+const BLACK: u64 = 0;
+
+struct RbTree {
+    node_bytes: u64,
+    root_p: Addr,
+}
+
+impl RbTree {
+    fn root(&self, ws: &Workspace) -> u64 {
+        ws.peek(self.root_p)
+    }
+
+    fn get(&self, ws: &mut Workspace, node: u64, field: u64) -> u64 {
+        ws.load(Addr::new(node + field))
+    }
+
+    fn set(&self, ws: &mut Workspace, node: u64, field: u64, value: u64) {
+        ws.store(Addr::new(node + field), value);
+    }
+
+    fn color(&self, ws: &Workspace, node: u64) -> u64 {
+        if node == 0 {
+            BLACK
+        } else {
+            ws.peek(Addr::new(node + COLOR))
+        }
+    }
+
+    fn rotate_left(&self, ws: &mut Workspace, x: u64) {
+        let y = self.get(ws, x, RIGHT);
+        let yl = self.get(ws, y, LEFT);
+        self.set(ws, x, RIGHT, yl);
+        if yl != 0 {
+            self.set(ws, yl, PARENT, x);
+        }
+        let xp = self.get(ws, x, PARENT);
+        self.set(ws, y, PARENT, xp);
+        if xp == 0 {
+            ws.store(self.root_p, y);
+        } else if self.get(ws, xp, LEFT) == x {
+            self.set(ws, xp, LEFT, y);
+        } else {
+            self.set(ws, xp, RIGHT, y);
+        }
+        self.set(ws, y, LEFT, x);
+        self.set(ws, x, PARENT, y);
+    }
+
+    fn rotate_right(&self, ws: &mut Workspace, x: u64) {
+        let y = self.get(ws, x, LEFT);
+        let yr = self.get(ws, y, RIGHT);
+        self.set(ws, x, LEFT, yr);
+        if yr != 0 {
+            self.set(ws, yr, PARENT, x);
+        }
+        let xp = self.get(ws, x, PARENT);
+        self.set(ws, y, PARENT, xp);
+        if xp == 0 {
+            ws.store(self.root_p, y);
+        } else if self.get(ws, xp, RIGHT) == x {
+            self.set(ws, xp, RIGHT, y);
+        } else {
+            self.set(ws, xp, LEFT, y);
+        }
+        self.set(ws, y, RIGHT, x);
+        self.set(ws, x, PARENT, y);
+    }
+
+    fn insert(&self, ws: &mut Workspace, key: u64) {
+        let node = ws.pmalloc(self.node_bytes).as_u64();
+        self.set(ws, node, KEY, key);
+        self.set(ws, node, COLOR, RED);
+        self.set(ws, node, LEFT, 0);
+        self.set(ws, node, RIGHT, 0);
+        // A couple of payload words derived from the key.
+        let payload_words = ((self.node_bytes - PAYLOAD) / 8).min(3);
+        for w in 0..payload_words {
+            self.set(ws, node, PAYLOAD + w * 8, key.rotate_left(w as u32 * 8));
+        }
+        // BST descent.
+        let mut parent = 0u64;
+        let mut cur = self.root(ws);
+        while cur != 0 {
+            parent = cur;
+            let k = self.get(ws, cur, KEY);
+            cur = if key < k { self.get(ws, cur, LEFT) } else { self.get(ws, cur, RIGHT) };
+        }
+        self.set(ws, node, PARENT, parent);
+        if parent == 0 {
+            ws.store(self.root_p, node);
+        } else if key < self.get(ws, parent, KEY) {
+            self.set(ws, parent, LEFT, node);
+        } else {
+            self.set(ws, parent, RIGHT, node);
+        }
+        self.fixup(ws, node);
+    }
+
+    fn fixup(&self, ws: &mut Workspace, mut z: u64) {
+        loop {
+            let zp0 = self.get(ws, z, PARENT);
+            if self.color(ws, zp0) != RED {
+                break;
+            }
+            let zp = self.get(ws, z, PARENT);
+            let zpp = self.get(ws, zp, PARENT);
+            if zpp == 0 {
+                break;
+            }
+            if zp == self.get(ws, zpp, LEFT) {
+                let uncle = self.get(ws, zpp, RIGHT);
+                if self.color(ws, uncle) == RED {
+                    self.set(ws, zp, COLOR, BLACK);
+                    self.set(ws, uncle, COLOR, BLACK);
+                    self.set(ws, zpp, COLOR, RED);
+                    z = zpp;
+                } else {
+                    if z == self.get(ws, zp, RIGHT) {
+                        z = zp;
+                        self.rotate_left(ws, z);
+                    }
+                    let zp = self.get(ws, z, PARENT);
+                    let zpp = self.get(ws, zp, PARENT);
+                    self.set(ws, zp, COLOR, BLACK);
+                    self.set(ws, zpp, COLOR, RED);
+                    self.rotate_right(ws, zpp);
+                }
+            } else {
+                let uncle = self.get(ws, zpp, LEFT);
+                if self.color(ws, uncle) == RED {
+                    self.set(ws, zp, COLOR, BLACK);
+                    self.set(ws, uncle, COLOR, BLACK);
+                    self.set(ws, zpp, COLOR, RED);
+                    z = zpp;
+                } else {
+                    if z == self.get(ws, zp, LEFT) {
+                        z = zp;
+                        self.rotate_right(ws, z);
+                    }
+                    let zp = self.get(ws, z, PARENT);
+                    let zpp = self.get(ws, zp, PARENT);
+                    self.set(ws, zp, COLOR, BLACK);
+                    self.set(ws, zpp, COLOR, RED);
+                    self.rotate_left(ws, zpp);
+                }
+            }
+        }
+        let root = self.root(ws);
+        if self.color(ws, root) == RED {
+            self.set(ws, root, COLOR, BLACK);
+        }
+    }
+
+    fn find(&self, ws: &mut Workspace, key: u64) -> u64 {
+        let mut cur = self.root(ws);
+        while cur != 0 {
+            let k = self.get(ws, cur, KEY);
+            if k == key {
+                return cur;
+            }
+            cur = if key < k { self.get(ws, cur, LEFT) } else { self.get(ws, cur, RIGHT) };
+        }
+        0
+    }
+
+    /// Replaces the subtree rooted at `u` with `v` in u's parent.
+    fn transplant(&self, ws: &mut Workspace, u: u64, v: u64) {
+        let up = self.get(ws, u, PARENT);
+        if up == 0 {
+            ws.store(self.root_p, v);
+        } else if self.get(ws, up, LEFT) == u {
+            self.set(ws, up, LEFT, v);
+        } else {
+            self.set(ws, up, RIGHT, v);
+        }
+        if v != 0 {
+            self.set(ws, v, PARENT, up);
+        }
+    }
+
+    /// BST delete (no red-black rebalance; see module docs).
+    fn delete(&self, ws: &mut Workspace, key: u64) -> bool {
+        let z = self.find(ws, key);
+        if z == 0 {
+            return false;
+        }
+        let zl = self.get(ws, z, LEFT);
+        let zr = self.get(ws, z, RIGHT);
+        if zl == 0 {
+            self.transplant(ws, z, zr);
+        } else if zr == 0 {
+            self.transplant(ws, z, zl);
+        } else {
+            // Successor: leftmost of the right subtree.
+            let mut s = zr;
+            loop {
+                let sl = self.get(ws, s, LEFT);
+                if sl == 0 {
+                    break;
+                }
+                s = sl;
+            }
+            if self.get(ws, s, PARENT) != z {
+                let sr = self.get(ws, s, RIGHT);
+                self.transplant(ws, s, sr);
+                self.set(ws, s, RIGHT, zr);
+                self.set(ws, zr, PARENT, s);
+            }
+            self.transplant(ws, z, s);
+            let zl = self.get(ws, z, LEFT);
+            self.set(ws, s, LEFT, zl);
+            self.set(ws, zl, PARENT, s);
+            let zc = self.get(ws, z, COLOR);
+            self.set(ws, s, COLOR, zc);
+        }
+        ws.pfree(Addr::new(z), self.node_bytes);
+        true
+    }
+
+    #[cfg(test)]
+    fn walk(&self, ws: &Workspace, node: u64, out: &mut Vec<u64>) {
+        if node == 0 {
+            return;
+        }
+        self.walk(ws, ws.peek(Addr::new(node + LEFT)), out);
+        out.push(ws.peek(Addr::new(node + KEY)));
+        self.walk(ws, ws.peek(Addr::new(node + RIGHT)), out);
+    }
+
+    #[cfg(test)]
+    fn assert_no_red_red(&self, ws: &Workspace, node: u64) {
+        if node == 0 {
+            return;
+        }
+        let left = ws.peek(Addr::new(node + LEFT));
+        let right = ws.peek(Addr::new(node + RIGHT));
+        if self.color(ws, node) == RED {
+            assert_eq!(self.color(ws, left), BLACK, "red node with red left child");
+            assert_eq!(self.color(ws, right), BLACK, "red node with red right child");
+        }
+        self.assert_no_red_red(ws, left);
+        self.assert_no_red_red(ws, right);
+    }
+}
+
+/// Generates one thread's red-black-tree trace.
+pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
+    let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(4));
+    let root_p = ws.pmalloc(64);
+    let tree = RbTree { node_bytes: cfg.dataset.bytes(), root_p };
+    let key_space = 1 << 20;
+    let mut live: Vec<u64> = Vec::new();
+    for _ in 0..cfg.per_thread() {
+        let insert = live.len() < 32 || ws.rng().gen_bool(0.55);
+        ws.begin_tx();
+        if insert {
+            let key = 1 + ws.rng().gen_range(key_space);
+            tree.insert(&mut ws, key);
+            live.push(key);
+        } else {
+            let idx = ws.rng().gen_range(live.len() as u64) as usize;
+            let key = live.swap_remove(idx);
+            tree.delete(&mut ws, key);
+        }
+        ws.compute(25);
+        ws.end_tx();
+    }
+    ws.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetSize, WorkloadConfig};
+    use morlog_sim_core::DetRng;
+
+    fn setup() -> (Workspace, RbTree) {
+        let mut ws = Workspace::new(Addr::new(0x1000_0000), 0, 1);
+        let root_p = ws.pmalloc(64);
+        (ws, RbTree { node_bytes: 64, root_p })
+    }
+
+    #[test]
+    fn insert_only_preserves_rb_invariants() {
+        let (mut ws, tree) = setup();
+        let mut rng = DetRng::new(2);
+        let mut keys = Vec::new();
+        ws.begin_tx();
+        for _ in 0..500 {
+            let k = rng.gen_range(100_000);
+            tree.insert(&mut ws, k);
+            keys.push(k);
+        }
+        ws.end_tx();
+        let root = tree.root(&ws);
+        assert_eq!(tree.color(&ws, root), BLACK, "root is black");
+        tree.assert_no_red_red(&ws, root);
+        let mut walked = Vec::new();
+        tree.walk(&ws, root, &mut walked);
+        keys.sort_unstable();
+        assert_eq!(walked, keys);
+    }
+
+    #[test]
+    fn delete_keeps_bst_order() {
+        let (mut ws, tree) = setup();
+        let mut rng = DetRng::new(3);
+        let mut live = Vec::new();
+        ws.begin_tx();
+        for i in 0..400u64 {
+            if live.len() < 10 || rng.gen_bool(0.6) {
+                let k = rng.gen_range(10_000);
+                tree.insert(&mut ws, k);
+                live.push(k);
+            } else {
+                let idx = rng.gen_range(live.len() as u64) as usize;
+                let k = live.swap_remove(idx);
+                assert!(tree.delete(&mut ws, k), "step {i}: key {k} present");
+            }
+        }
+        ws.end_tx();
+        let mut walked = Vec::new();
+        tree.walk(&ws, tree.root(&ws), &mut walked);
+        live.sort_unstable();
+        assert_eq!(walked, live);
+    }
+
+    #[test]
+    fn generates_pointer_heavy_transactions() {
+        let cfg = WorkloadConfig {
+            threads: 1,
+            total_transactions: 200,
+            dataset: DatasetSize::Small,
+            seed: 5,
+            data_base: Addr::new(0x1000_0000),
+        };
+        let t = generate_thread(&cfg, 0);
+        assert_eq!(t.transactions.len(), 200);
+        let max_stores = t.transactions.iter().map(|tx| tx.stores()).max().unwrap();
+        assert!(max_stores >= 10, "rotations during fixup store many pointers");
+    }
+}

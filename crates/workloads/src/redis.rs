@@ -1,0 +1,199 @@
+//! Redis: an in-memory key-value store with an LRU list (one of the
+//! paper's Fig. 3/Fig. 5 WHISPER profiling applications).
+//!
+//! A chained dictionary plus a doubly-linked LRU list. The characteristic
+//! write pattern: *reads also write* — every GET moves its entry to the LRU
+//! head, rewriting two or three pointer words, and the list-head word is
+//! rewritten by every operation (extreme cross-operation temporal
+//! locality).
+//!
+//! Entry layout: 0 = key, 1 = dict next, 2 = lru prev, 3 = lru next,
+//! 4.. = value words.
+
+use morlog_sim_core::{Addr, WORD_BYTES};
+
+use crate::registry::WorkloadConfig;
+use crate::trace::ThreadTrace;
+use crate::workspace::Workspace;
+
+const BUCKETS: u64 = 1024;
+const KEY: u64 = 0;
+const DNEXT: u64 = 8;
+const LPREV: u64 = 16;
+const LNEXT: u64 = 24;
+const VALUE: u64 = 32;
+
+fn hash(key: u64) -> u64 {
+    (key.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 19) % BUCKETS
+}
+
+struct Redis {
+    table: Addr,
+    lru_head_p: Addr,
+}
+
+impl Redis {
+    fn find(&self, ws: &mut Workspace, key: u64) -> u64 {
+        let mut cur = ws.load(self.table.offset(hash(key) * 8));
+        let mut hops = 0;
+        while cur != 0 && hops < 16 {
+            if ws.load(Addr::new(cur + KEY)) == key {
+                return cur;
+            }
+            cur = ws.load(Addr::new(cur + DNEXT));
+            hops += 1;
+        }
+        0
+    }
+
+    /// Unlinks `e` from the LRU list and reinserts it at the head — the
+    /// pointer churn every GET performs.
+    fn lru_touch(&self, ws: &mut Workspace, e: u64) {
+        let head = ws.load(self.lru_head_p);
+        if head == e {
+            return;
+        }
+        let prev = ws.load(Addr::new(e + LPREV));
+        let next = ws.load(Addr::new(e + LNEXT));
+        if prev != 0 {
+            ws.store(Addr::new(prev + LNEXT), next);
+        }
+        if next != 0 {
+            ws.store(Addr::new(next + LPREV), prev);
+        }
+        ws.store(Addr::new(e + LPREV), 0);
+        ws.store(Addr::new(e + LNEXT), head);
+        if head != 0 {
+            ws.store(Addr::new(head + LPREV), e);
+        }
+        ws.store(self.lru_head_p, e);
+    }
+}
+
+/// Generates one thread's redis trace.
+pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
+    let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(11));
+    let entry_bytes = cfg.dataset.bytes();
+    let value_words = ((entry_bytes - VALUE) / WORD_BYTES as u64).min(4);
+    let r = Redis { table: ws.pmalloc(BUCKETS * 8), lru_head_p: ws.pmalloc(64) };
+    let key_space: u64 = 4096;
+
+    // Batched commands per durable transaction, like the other stores.
+    const OPS_PER_TX: usize = 6;
+    for _ in 0..cfg.per_thread() {
+        ws.begin_tx();
+        for _ in 0..OPS_PER_TX {
+            let key = 1 + ws.rng().gen_range(key_space);
+            if ws.rng().gen_bool(0.7) {
+                // SET: update in place or insert at the bucket head.
+                let found = r.find(&mut ws, key);
+                let e = if found != 0 {
+                    found
+                } else {
+                    let e = ws.pmalloc(entry_bytes).as_u64();
+                    ws.store(Addr::new(e + KEY), key);
+                    let bucket = r.table.offset(hash(key) * 8);
+                    let head = ws.load(bucket);
+                    ws.store(Addr::new(e + DNEXT), head);
+                    ws.store(bucket, e);
+                    e
+                };
+                for w in 0..value_words {
+                    ws.store(Addr::new(e + VALUE + w * 8), (key * 3 + w) % 4096);
+                }
+                r.lru_touch(&mut ws, e);
+            } else {
+                // GET: loads plus the LRU pointer writes.
+                let found = r.find(&mut ws, key);
+                if found != 0 {
+                    let _ = ws.load(Addr::new(found + VALUE));
+                    r.lru_touch(&mut ws, found);
+                }
+            }
+            ws.compute(8);
+        }
+        ws.end_tx();
+    }
+    ws.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetSize, WorkloadConfig};
+    use crate::trace::Op;
+
+    fn cfg(n: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 1,
+            total_transactions: n,
+            dataset: DatasetSize::Small,
+            seed: 41,
+            data_base: Addr::new(0x1000_0000),
+        }
+    }
+
+    #[test]
+    fn lru_head_is_rewritten_constantly() {
+        let t = generate_thread(&cfg(200), 0);
+        // The LRU head pointer word: find the most-stored address.
+        let mut per_addr = std::collections::HashMap::new();
+        for tx in &t.transactions {
+            for op in &tx.ops {
+                if let Op::Store(a, _) = op {
+                    *per_addr.entry(a.as_u64()).or_insert(0u64) += 1;
+                }
+            }
+        }
+        let max = per_addr.values().copied().max().unwrap();
+        assert!(max > 600, "the head word dominates stores ({max})");
+    }
+
+    #[test]
+    fn gets_write_lru_pointers() {
+        // Even read-dominated batches contain stores (the Redis LRU churn).
+        let t = generate_thread(&cfg(300), 0);
+        let storeless = t.transactions.iter().filter(|tx| tx.stores() == 0).count();
+        assert!(storeless < 10, "almost no batch is store-free ({storeless})");
+    }
+
+    #[test]
+    fn lru_list_stays_consistent() {
+        // Structural check on the shadow state: walk the LRU list from the
+        // head; no cycles within a bounded length and prev/next agree.
+        let c = cfg(400);
+        let mut ws = Workspace::new(c.data_base, 0, c.seed.wrapping_add(11));
+        let entry_bytes = c.dataset.bytes();
+        let r = Redis { table: ws.pmalloc(BUCKETS * 8), lru_head_p: ws.pmalloc(64) };
+        ws.begin_tx();
+        let mut rng = morlog_sim_core::DetRng::new(4);
+        for _ in 0..500 {
+            let key = 1 + rng.gen_range(64);
+            let found = r.find(&mut ws, key);
+            let e = if found != 0 {
+                found
+            } else {
+                let e = ws.pmalloc(entry_bytes).as_u64();
+                ws.store(Addr::new(e + KEY), key);
+                let bucket = r.table.offset(hash(key) * 8);
+                let head = ws.load(bucket);
+                ws.store(Addr::new(e + DNEXT), head);
+                ws.store(bucket, e);
+                e
+            };
+            r.lru_touch(&mut ws, e);
+        }
+        ws.end_tx();
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = ws.peek(r.lru_head_p);
+        let mut prev = 0u64;
+        while cur != 0 {
+            assert!(seen.insert(cur), "no cycle in the LRU list");
+            assert_eq!(ws.peek(Addr::new(cur + LPREV)), prev, "prev agrees");
+            prev = cur;
+            cur = ws.peek(Addr::new(cur + LNEXT));
+            assert!(seen.len() <= 64, "list bounded by distinct keys");
+        }
+        assert!(!seen.is_empty());
+    }
+}

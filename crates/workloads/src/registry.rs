@@ -1,0 +1,236 @@
+//! Workload registry: the Table IV benchmark list and shared configuration.
+
+use morlog_sim_core::Addr;
+
+use crate::trace::WorkloadTrace;
+
+/// The dataset-size axis of the evaluation (§VI-A: 64 B and 4 KB tree
+/// nodes / entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetSize {
+    /// 64-byte nodes/entries.
+    Small,
+    /// 4-kilobyte nodes/entries.
+    Large,
+}
+
+impl DatasetSize {
+    /// Node/entry size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            DatasetSize::Small => 64,
+            DatasetSize::Large => 4096,
+        }
+    }
+
+    /// The paper's suffix ("Small"/"Large").
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetSize::Small => "Small",
+            DatasetSize::Large => "Large",
+        }
+    }
+}
+
+/// The nine benchmarks of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadKind {
+    /// Insert/delete nodes in a B-tree.
+    BTree,
+    /// Insert/delete entries in a hash table.
+    Hash,
+    /// Insert/delete entries in a queue.
+    Queue,
+    /// Insert/delete nodes in a red-black tree.
+    RBTree,
+    /// Insert/delete edges in a scalable graph.
+    Sdg,
+    /// Swap two random entries in an array.
+    Sps,
+    /// A scalable key-value store.
+    Echo,
+    /// YCSB with 20 %/80 % read/update.
+    Ycsb,
+    /// TPC-C new-order transactions.
+    Tpcc,
+    /// A travel-reservation system (STAMP vacation; profiled in Fig. 3/5).
+    Vacation,
+    /// A crit-bit tree (profiled in Fig. 3/5).
+    Ctree,
+    /// An in-memory KV store with LRU touch-on-read (profiled in Fig. 3/5).
+    Redis,
+    /// A slab-allocated cache with LRU eviction (profiled in Fig. 3/5).
+    Memcached,
+}
+
+impl WorkloadKind {
+    /// The six micro-benchmarks (run with 8 threads, both dataset sizes).
+    pub const MICRO: [WorkloadKind; 6] = [
+        WorkloadKind::BTree,
+        WorkloadKind::Hash,
+        WorkloadKind::Queue,
+        WorkloadKind::RBTree,
+        WorkloadKind::Sdg,
+        WorkloadKind::Sps,
+    ];
+
+    /// The three macro-benchmarks (run with 4 threads).
+    pub const MACRO: [WorkloadKind; 3] = [WorkloadKind::Echo, WorkloadKind::Ycsb, WorkloadKind::Tpcc];
+
+    /// All thirteen benchmarks: Table IV's nine plus the remaining Fig. 3/5
+    /// profiling applications (vacation, ctree, redis, memcached).
+    pub const ALL: [WorkloadKind; 13] = [
+        WorkloadKind::BTree,
+        WorkloadKind::Hash,
+        WorkloadKind::Queue,
+        WorkloadKind::RBTree,
+        WorkloadKind::Sdg,
+        WorkloadKind::Sps,
+        WorkloadKind::Echo,
+        WorkloadKind::Ycsb,
+        WorkloadKind::Tpcc,
+        WorkloadKind::Vacation,
+        WorkloadKind::Ctree,
+        WorkloadKind::Redis,
+        WorkloadKind::Memcached,
+    ];
+
+    /// The paper's benchmark label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::BTree => "BTree",
+            WorkloadKind::Hash => "Hash",
+            WorkloadKind::Queue => "Queue",
+            WorkloadKind::RBTree => "RBTree",
+            WorkloadKind::Sdg => "SDG",
+            WorkloadKind::Sps => "SPS",
+            WorkloadKind::Echo => "Echo",
+            WorkloadKind::Ycsb => "YCSB",
+            WorkloadKind::Tpcc => "TPCC",
+            WorkloadKind::Vacation => "Vacation",
+            WorkloadKind::Ctree => "Ctree",
+            WorkloadKind::Redis => "Redis",
+            WorkloadKind::Memcached => "Memcached",
+        }
+    }
+
+    /// Paper thread counts: 8 for micro-, 4 for macro-benchmarks (§VI-A);
+    /// the extra profiling applications follow the macro setting.
+    pub fn default_threads(self) -> usize {
+        if Self::MICRO.contains(&self) {
+            8
+        } else {
+            4
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration shared by every workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Worker threads (cores used).
+    pub threads: usize,
+    /// Total transactions across all threads (the paper runs 100 K).
+    pub total_transactions: usize,
+    /// Node/entry size.
+    pub dataset: DatasetSize,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+    /// Base of the persistent data region (thread arenas are carved from
+    /// here; pass `MemoryMap::data_base()`).
+    pub data_base: Addr,
+}
+
+impl WorkloadConfig {
+    /// A small deterministic configuration for tests.
+    pub fn test_config(data_base: Addr) -> Self {
+        WorkloadConfig {
+            threads: 2,
+            total_transactions: 100,
+            dataset: DatasetSize::Small,
+            seed: 42,
+            data_base,
+        }
+    }
+
+    /// Transactions each thread runs.
+    pub fn per_thread(&self) -> usize {
+        self.total_transactions.div_ceil(self.threads.max(1))
+    }
+}
+
+/// Generates the trace for one benchmark.
+///
+/// # Example
+///
+/// ```
+/// use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+/// use morlog_sim_core::Addr;
+/// let cfg = WorkloadConfig::test_config(Addr::new(0x1000_0000));
+/// let trace = generate(WorkloadKind::Sps, &cfg);
+/// assert_eq!(trace.threads.len(), 2);
+/// assert!(trace.total_transactions() >= 100);
+/// ```
+pub fn generate(kind: WorkloadKind, cfg: &WorkloadConfig) -> WorkloadTrace {
+    let threads = (0..cfg.threads)
+        .map(|t| match kind {
+            WorkloadKind::BTree => crate::btree::generate_thread(cfg, t),
+            WorkloadKind::Hash => crate::hashmap::generate_thread(cfg, t),
+            WorkloadKind::Queue => crate::queue::generate_thread(cfg, t),
+            WorkloadKind::RBTree => crate::rbtree::generate_thread(cfg, t),
+            WorkloadKind::Sdg => crate::sdg::generate_thread(cfg, t),
+            WorkloadKind::Sps => crate::sps::generate_thread(cfg, t),
+            WorkloadKind::Echo => crate::echo::generate_thread(cfg, t),
+            WorkloadKind::Ycsb => crate::ycsb::generate_thread(cfg, t),
+            WorkloadKind::Tpcc => crate::tpcc::generate_thread(cfg, t),
+            WorkloadKind::Vacation => crate::vacation::generate_thread(cfg, t),
+            WorkloadKind::Ctree => crate::ctree::generate_thread(cfg, t),
+            WorkloadKind::Redis => crate::redis::generate_thread(cfg, t),
+            WorkloadKind::Memcached => crate::memcached::generate_thread(cfg, t),
+        })
+        .collect();
+    WorkloadTrace { name: kind.label().to_string(), threads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_lists() {
+        assert_eq!(WorkloadKind::ALL.len(), 13);
+        assert_eq!(WorkloadKind::Vacation.default_threads(), 4);
+        assert_eq!(WorkloadKind::MICRO.len(), 6);
+        assert_eq!(WorkloadKind::MACRO.len(), 3);
+        assert_eq!(WorkloadKind::Tpcc.default_threads(), 4);
+        assert_eq!(WorkloadKind::BTree.default_threads(), 8);
+        assert_eq!(DatasetSize::Small.bytes(), 64);
+        assert_eq!(DatasetSize::Large.bytes(), 4096);
+    }
+
+    #[test]
+    fn per_thread_rounds_up() {
+        let mut cfg = WorkloadConfig::test_config(Addr::new(0));
+        cfg.threads = 3;
+        cfg.total_transactions = 100;
+        assert_eq!(cfg.per_thread(), 34);
+    }
+
+    #[test]
+    fn all_workloads_generate_deterministically() {
+        let cfg = WorkloadConfig::test_config(Addr::new(0x1000_0000));
+        for kind in WorkloadKind::ALL {
+            let a = generate(kind, &cfg);
+            let b = generate(kind, &cfg);
+            assert_eq!(a, b, "{kind} must be deterministic");
+            assert!(a.total_transactions() >= cfg.total_transactions, "{kind}");
+            assert!(a.total_stores() > 0, "{kind} must store something");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! SPS: swap two random entries in an array (Table IV).
+//!
+//! The array entries are initialised with the same value, which is why the
+//! paper calls out SPS-Large as the workload where clean-log-data discarding
+//! shines (§VI-B): a swap of equal-valued entries writes almost entirely
+//! clean bytes.
+
+use morlog_sim_core::WORD_BYTES;
+
+use crate::registry::WorkloadConfig;
+use crate::trace::ThreadTrace;
+use crate::workspace::Workspace;
+
+/// Entries per thread-private array.
+const ENTRIES: u64 = 1024;
+
+/// Generates one thread's SPS trace.
+pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
+    let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed);
+    let entry_bytes = cfg.dataset.bytes();
+    let words_per_entry = entry_bytes / WORD_BYTES as u64;
+    let array = ws.pmalloc(ENTRIES * entry_bytes);
+
+    // Initialise every entry with the same pattern (non-transactional
+    // setup, like the benchmark's populate phase).
+    for e in 0..ENTRIES {
+        for w in 0..words_per_entry {
+            ws.store(array.offset(e * entry_bytes + w * WORD_BYTES as u64), 0x0101_0101_0101_0101);
+        }
+    }
+    // A tiny fraction of entries differ so swaps are not all no-ops.
+    for e in (0..ENTRIES).step_by(97) {
+        let v = 0x0101_0101_0101_0100 | (e & 0xFF);
+        ws.store(array.offset(e * entry_bytes), v);
+    }
+
+    for _ in 0..cfg.per_thread() {
+        let i = ws.rng().gen_range(ENTRIES);
+        let j = ws.rng().gen_range(ENTRIES);
+        ws.begin_tx();
+        for w in 0..words_per_entry {
+            let off = w * WORD_BYTES as u64;
+            let a = array.offset(i * entry_bytes + off);
+            let b = array.offset(j * entry_bytes + off);
+            let va = ws.load(a);
+            let vb = ws.load(b);
+            ws.store(a, vb);
+            ws.store(b, va);
+        }
+        ws.compute(10);
+        ws.end_tx();
+    }
+    ws.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetSize, WorkloadConfig};
+    use morlog_sim_core::Addr;
+
+    #[test]
+    fn small_swap_is_sixteen_stores() {
+        let cfg = WorkloadConfig {
+            threads: 1,
+            total_transactions: 10,
+            dataset: DatasetSize::Small,
+            seed: 7,
+            data_base: Addr::new(0x1000_0000),
+        };
+        let t = generate_thread(&cfg, 0);
+        assert_eq!(t.transactions.len(), 10);
+        for tx in &t.transactions {
+            assert_eq!(tx.stores(), 16, "8 words swapped = 16 stores");
+            assert_eq!(tx.loads(), 16);
+        }
+    }
+
+    #[test]
+    fn large_swap_scales_with_entry() {
+        let cfg = WorkloadConfig {
+            threads: 1,
+            total_transactions: 2,
+            dataset: DatasetSize::Large,
+            seed: 7,
+            data_base: Addr::new(0x1000_0000),
+        };
+        let t = generate_thread(&cfg, 0);
+        assert_eq!(t.transactions[0].stores(), 1024, "512 words swapped");
+    }
+
+    #[test]
+    fn swaps_mostly_move_identical_values() {
+        // The point of SPS: most swapped values are equal (clean data).
+        let cfg = WorkloadConfig {
+            threads: 1,
+            total_transactions: 50,
+            dataset: DatasetSize::Small,
+            seed: 7,
+            data_base: Addr::new(0x1000_0000),
+        };
+        let t = generate_thread(&cfg, 0);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for tx in &t.transactions {
+            for op in &tx.ops {
+                if let crate::trace::Op::Store(_, v) = op {
+                    total += 1;
+                    if *v == 0x0101_0101_0101_0101 {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        assert!(same * 10 >= total * 8, "most stores rewrite the common value");
+    }
+}

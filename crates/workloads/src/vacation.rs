@@ -1,0 +1,140 @@
+//! Vacation: a travel-reservation system (STAMP, profiled in the paper's
+//! Fig. 3/Fig. 5 WHISPER set).
+//!
+//! Three resource tables (cars, flights, rooms) with capacity and price
+//! rows, plus per-customer reservation lists. A transaction makes 1–3
+//! reservations: query a resource row (loads), decrement its free capacity
+//! (a mostly-clean read-modify-write), append a reservation node to the
+//! customer's list, and accumulate the customer's bill in place — the bill
+//! word repeats within the transaction like TPCC's order total.
+
+use morlog_sim_core::Addr;
+
+use crate::registry::WorkloadConfig;
+use crate::trace::ThreadTrace;
+use crate::workspace::Workspace;
+
+const ROWS_PER_TABLE: u64 = 1024;
+const CUSTOMERS: u64 = 512;
+/// Resource row: word 0 = free capacity, word 1 = price, word 2 = total
+/// sold; padded to a line.
+const ROW_BYTES: u64 = 64;
+/// Reservation node: word 0 = next, 1 = resource row addr, 2 = price paid.
+const RSV_BYTES: u64 = 64;
+
+/// Generates one thread's vacation trace.
+pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
+    let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(9));
+    let tables: Vec<Addr> = (0..3).map(|_| ws.pmalloc(ROWS_PER_TABLE * ROW_BYTES)).collect();
+    let customers = ws.pmalloc(CUSTOMERS * 64); // word 0 = bill, word 1 = list head
+    // Populate resource rows.
+    for table in &tables {
+        for r in 0..ROWS_PER_TABLE {
+            ws.store(table.offset(r * ROW_BYTES), 100 + r % 17); // capacity
+            ws.store(table.offset(r * ROW_BYTES + 8), 50 + (r * 7) % 450); // price
+        }
+    }
+
+    for _ in 0..cfg.per_thread() {
+        let c_id = ws.rng().gen_range(CUSTOMERS);
+        let n_reservations = 1 + ws.rng().gen_range(3);
+        ws.begin_tx();
+        let bill_p = customers.offset(c_id * 64);
+        let head_p = bill_p.offset(8);
+        for _ in 0..n_reservations {
+            let table = tables[ws.rng().gen_range(3) as usize];
+            // Query a few candidate rows, keep the cheapest with capacity.
+            let mut best: Option<(Addr, u64)> = None;
+            for _ in 0..3 {
+                let r = ws.rng().gen_range(ROWS_PER_TABLE);
+                let row = table.offset(r * ROW_BYTES);
+                let cap = ws.load(row);
+                let price = ws.load(row.offset(8));
+                if cap > 0 && best.map(|(_, p)| price < p).unwrap_or(true) {
+                    best = Some((row, price));
+                }
+            }
+            let Some((row, price)) = best else { continue };
+            // Reserve: capacity--, sold++, append reservation, bill += price.
+            let cap = ws.load(row);
+            ws.store(row, cap - 1);
+            let sold = ws.load(row.offset(16));
+            ws.store(row.offset(16), sold + 1);
+            let node = ws.pmalloc(RSV_BYTES);
+            let head = ws.load(head_p);
+            ws.store(node, head);
+            ws.store(node.offset(8), row.as_u64());
+            ws.store(node.offset(16), price);
+            ws.store(head_p, node.as_u64());
+            let bill = ws.load(bill_p);
+            ws.store(bill_p, bill + price);
+            ws.compute(10);
+        }
+        ws.compute(15);
+        ws.end_tx();
+    }
+    ws.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetSize, WorkloadConfig};
+    use crate::trace::Op;
+    use morlog_sim_core::Addr;
+
+    fn cfg(n: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 1,
+            total_transactions: n,
+            dataset: DatasetSize::Small,
+            seed: 37,
+            data_base: Addr::new(0x1000_0000),
+        }
+    }
+
+    #[test]
+    fn reservations_decrement_capacity_conservatively() {
+        let t = generate_thread(&cfg(400), 0);
+        // Replay: every capacity word must stay non-negative (u64 wrap would
+        // produce a huge value).
+        let mut shadow = std::collections::HashMap::new();
+        for tx in &t.transactions {
+            for op in &tx.ops {
+                if let Op::Store(a, v) = op {
+                    shadow.insert(a.as_u64(), *v);
+                }
+            }
+        }
+        for (_, v) in shadow {
+            assert!(v < 1 << 48, "no capacity underflow: {v:#x}");
+        }
+    }
+
+    #[test]
+    fn bills_accumulate_within_transactions() {
+        let t = generate_thread(&cfg(200), 0);
+        let multi = t
+            .transactions
+            .iter()
+            .filter(|tx| {
+                let mut per_addr = std::collections::HashMap::new();
+                for op in &tx.ops {
+                    if let Op::Store(a, _) = op {
+                        *per_addr.entry(a.as_u64()).or_insert(0u32) += 1;
+                    }
+                }
+                per_addr.values().any(|&n| n >= 2)
+            })
+            .count();
+        assert!(multi > 60, "multi-reservation bills repeat a word ({multi})");
+    }
+
+    #[test]
+    fn transactions_mix_loads_and_stores() {
+        let t = generate_thread(&cfg(100), 0);
+        for tx in &t.transactions {
+            assert!(tx.loads() >= 6, "queries produce loads");
+        }
+    }
+}

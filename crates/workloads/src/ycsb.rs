@@ -1,0 +1,131 @@
+//! YCSB with a 20 %/80 % read/update mix (Table IV).
+//!
+//! A fixed table of records; updates rewrite one or two fields of a record
+//! and bump a per-table statistics counter, reads scan a record's fields.
+//! Keys are drawn from a skewed (approximate-Zipf) distribution, giving the
+//! hot-record reuse the paper's Fig. 3 write distances reflect.
+
+use morlog_sim_core::{DetRng, WORD_BYTES};
+
+use crate::registry::WorkloadConfig;
+use crate::trace::ThreadTrace;
+use crate::workspace::Workspace;
+
+/// Records per thread partition.
+const RECORDS: u64 = 2048;
+
+/// Approximate Zipf: repeatedly halve the range with probability 0.7.
+fn skewed(rng: &mut DetRng, n: u64) -> u64 {
+    let lo = 0;
+    let mut hi = n;
+    while hi - lo > 1 && rng.gen_bool(0.7) {
+        hi = lo + (hi - lo).div_ceil(2);
+    }
+    lo + rng.gen_range(hi - lo)
+}
+
+/// Generates one thread's YCSB trace.
+pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
+    let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(7));
+    let rec_bytes = cfg.dataset.bytes();
+    let fields = rec_bytes / WORD_BYTES as u64;
+    let table = ws.pmalloc(RECORDS * rec_bytes);
+    let stats = ws.pmalloc(64);
+    let updates_p = stats;
+    let record = |r: u64| table.offset(r * rec_bytes);
+
+    // Populate: field 0 = key, others = small field values.
+    for r in 0..RECORDS {
+        ws.store(record(r), r + 1);
+        for f in 1..fields {
+            ws.store(record(r).offset(f * 8), (r * 31 + f) % 1000);
+        }
+    }
+
+    // YCSB clients batch operations per durable transaction; the stats
+    // counter repeats within each batch.
+    const OPS_PER_TX: usize = 8;
+    for _ in 0..cfg.per_thread() {
+        ws.begin_tx();
+        for _ in 0..OPS_PER_TX {
+        let r = skewed(ws.rng(), RECORDS);
+        let update = ws.rng().gen_bool(0.8);
+        if update {
+            // Rewrite 1-2 fields with a small delta: most bytes stay clean.
+            let nf = 1 + ws.rng().gen_range(2);
+            for _ in 0..nf {
+                let f = 1 + ws.rng().gen_range(fields - 1);
+                let addr = record(r).offset(f * 8);
+                let delta = 1 + ws.rng().gen_range(16);
+                let v = ws.load(addr);
+                ws.store(addr, v.wrapping_add(delta));
+            }
+            let u = ws.load(updates_p);
+            ws.store(updates_p, u + 1);
+        } else {
+            // Read a handful of fields.
+            for f in 0..fields.min(4) {
+                let _ = ws.load(record(r).offset(f * 8));
+            }
+        }
+        ws.compute(6);
+        }
+        ws.end_tx();
+    }
+    ws.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DatasetSize, WorkloadConfig};
+    use morlog_sim_core::Addr;
+    use crate::trace::Op;
+
+    fn cfg(n: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 1,
+            total_transactions: n,
+            dataset: DatasetSize::Small,
+            seed: 23,
+            data_base: Addr::new(0x1000_0000),
+        }
+    }
+
+    #[test]
+    fn update_read_mix_is_80_20() {
+        // 8 ops per batch, 80% updates, 1-2 field stores + 1 counter store
+        // per update: expect roughly 8 × 0.8 × 2.5 = 16 stores per batch.
+        let t = generate_thread(&cfg(500), 0);
+        let avg: f64 = t.transactions.iter().map(|tx| tx.stores() as f64).sum::<f64>()
+            / t.transactions.len() as f64;
+        assert!((10.0..24.0).contains(&avg), "average stores per batch: {avg}");
+        let reads: usize = t.transactions.iter().map(|tx| tx.loads()).sum();
+        assert!(reads > 0);
+    }
+
+    #[test]
+    fn skew_concentrates_on_hot_records() {
+        let mut rng = DetRng::new(1);
+        let mut hot = 0;
+        const N: u64 = 10_000;
+        for _ in 0..N {
+            if skewed(&mut rng, RECORDS) < RECORDS / 16 {
+                hot += 1;
+            }
+        }
+        assert!(hot as f64 / N as f64 > 0.3, "top 1/16 gets >30% of accesses ({hot})");
+    }
+
+    #[test]
+    fn updates_are_small_deltas() {
+        let t = generate_thread(&cfg(500), 0);
+        for tx in &t.transactions {
+            for op in &tx.ops {
+                if let Op::Store(_, v) = op {
+                    assert!(*v < 1 << 32, "field values stay small: {v}");
+                }
+            }
+        }
+    }
+}

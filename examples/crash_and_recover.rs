@@ -1,0 +1,43 @@
+//! Crash injection and recovery: run a workload, pull the plug mid-flight,
+//! run the §III-E recovery routine, and verify atomic persistence against
+//! the built-in oracle.
+//!
+//! ```text
+//! cargo run --release --example crash_and_recover
+//! ```
+
+use morlog_repro::core::{DesignKind, SystemConfig};
+use morlog_repro::sim::System;
+use morlog_repro::workloads::{generate, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    for design in [DesignKind::MorLogSlde, DesignKind::MorLogDp] {
+        let cfg = SystemConfig::for_design(design);
+        let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+        wl.threads = 4;
+        wl.total_transactions = 400;
+        wl.seed = 99;
+        let trace = generate(WorkloadKind::Tpcc, &wl);
+        let mut sys = System::new(cfg, &trace);
+
+        // Pull the plug mid-run: caches and log buffers vanish; NVMM and
+        // the ADR-protected write queue survive.
+        sys.run_for(60_000);
+        let committed_before = sys.committed();
+        sys.crash();
+
+        let report = sys.recover();
+        println!("{design}:");
+        println!("  committed before crash: {committed_before}");
+        println!("  log records scanned:    {}", report.records_scanned);
+        println!("  rolled forward:         {} transactions", report.redone.len());
+        println!("  rolled back:            {} transactions", report.undone.len());
+        match sys.verify_recovery(&report) {
+            Ok(()) => println!("  atomic persistence:     VERIFIED\n"),
+            Err(e) => println!("  atomic persistence:     VIOLATED — {e}\n"),
+        }
+    }
+    println!("Under MorLog-SLDE every committed transaction survives (durability at");
+    println!("commit); under MorLog-DP the most recent commits may roll back — commit");
+    println!("order is preserved either way, and no transaction is ever half-applied.");
+}

@@ -1,0 +1,45 @@
+//! Sweep the six evaluated designs over one workload and print the
+//! normalized metrics the paper's figures report.
+//!
+//! ```text
+//! cargo run --release --example design_space [transactions]
+//! ```
+
+use morlog_repro::core::{DesignKind, SystemConfig};
+use morlog_repro::sim::System;
+use morlog_repro::workloads::{generate, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    let txs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_000);
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "design", "tput", "writes", "energy", "log bits", "silent"
+    );
+    let mut base: Option<(f64, u64, f64, u64)> = None;
+    for design in DesignKind::ALL {
+        let cfg = SystemConfig::for_design(design);
+        let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+        wl.threads = 4;
+        wl.total_transactions = txs;
+        let trace = generate(WorkloadKind::Ycsb, &wl);
+        let stats = System::new(cfg.clone(), &trace).run();
+        let tput = stats.tx_per_second(cfg.cores.frequency);
+        let cur = (
+            tput,
+            stats.mem.nvmm_writes,
+            stats.mem.write_energy_pj,
+            stats.mem.log_bits_programmed,
+        );
+        let b = *base.get_or_insert(cur);
+        println!(
+            "{:<14} {:>9.3}x {:>9.3}x {:>9.3}x {:>9.3}x {:>10}",
+            design.label(),
+            cur.0 / b.0,
+            cur.1 as f64 / b.1 as f64,
+            cur.2 / b.2,
+            cur.3 as f64 / b.3 as f64,
+            stats.log.silent_discarded
+        );
+    }
+    println!("\n(normalized to FWB-CRADE; YCSB, 4 threads, {txs} transactions)");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: simulate one workload under two logging designs and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use morlog_repro::core::{DesignKind, SystemConfig};
+use morlog_repro::sim::System;
+use morlog_repro::workloads::{generate, WorkloadConfig, WorkloadKind};
+
+fn main() {
+    // 1. Pick a hardware-logging design and build the Table III system.
+    let baseline_cfg = SystemConfig::for_design(DesignKind::FwbCrade);
+    let morlog_cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+
+    // 2. Generate a workload trace (a persistent key-value store, Table IV).
+    let wl = WorkloadConfig {
+        threads: 4,
+        total_transactions: 1_000,
+        dataset: morlog_repro::workloads::DatasetSize::Small,
+        seed: 7,
+        data_base: System::data_base(&baseline_cfg),
+    };
+    let trace = generate(WorkloadKind::Echo, &wl);
+    println!(
+        "workload: {} — {} transactions, {} stores",
+        trace.name,
+        trace.total_transactions(),
+        trace.total_stores()
+    );
+
+    // 3. Run both systems and compare.
+    let base = System::new(baseline_cfg.clone(), &trace).run();
+    let morlog = System::new(morlog_cfg.clone(), &trace).run();
+
+    let base_tput = base.tx_per_second(baseline_cfg.cores.frequency);
+    let morlog_tput = morlog.tx_per_second(morlog_cfg.cores.frequency);
+    println!("\n{:<22} {:>14} {:>14}", "", "FWB-CRADE", "MorLog-SLDE");
+    println!("{:<22} {:>14.0} {:>14.0}", "transactions/s", base_tput, morlog_tput);
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "NVMM writes", base.mem.nvmm_writes, morlog.mem.nvmm_writes
+    );
+    println!(
+        "{:<22} {:>13.1}uJ {:>13.1}uJ",
+        "NVMM write energy",
+        base.mem.write_energy_pj / 1e6,
+        morlog.mem.write_energy_pj / 1e6
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "log entries written", base.log.entries_written, morlog.log.entries_written
+    );
+    println!(
+        "\nMorLog-SLDE speedup: {:.2}x, write-traffic: {:.2}x, energy: {:.2}x",
+        morlog_tput / base_tput,
+        morlog.mem.nvmm_writes as f64 / base.mem.nvmm_writes as f64,
+        morlog.mem.write_energy_pj / base.mem.write_energy_pj
+    );
+}

@@ -1,0 +1,17 @@
+//! # morlog-repro
+//!
+//! A from-scratch Rust reproduction of *MorLog: Morphable Hardware Logging
+//! for Atomic Persistence in Non-Volatile Main Memory* (ISCA 2020).
+//!
+//! This facade crate re-exports the whole workspace so that examples, tests
+//! and downstream users can depend on a single crate. See the README for the
+//! architecture overview and `DESIGN.md` for the full system inventory.
+
+pub use morlog_analysis as analysis;
+pub use morlog_cache as cache;
+pub use morlog_encoding as encoding;
+pub use morlog_logging as logging;
+pub use morlog_nvm as nvm;
+pub use morlog_sim as sim;
+pub use morlog_sim_core as core;
+pub use morlog_workloads as workloads;

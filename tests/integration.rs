@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: the full pipeline (workload generation →
+//! simulation → statistics) and the paper's qualitative claims that must
+//! hold on every run.
+
+use morlog_repro::analysis::clean_bytes::CleanByteStats;
+use morlog_repro::analysis::write_distance::WriteDistanceHistogram;
+use morlog_repro::core::stats::geometric_mean;
+use morlog_repro::core::{DesignKind, SystemConfig};
+use morlog_repro::sim::System;
+use morlog_repro::workloads::{generate, DatasetSize, WorkloadConfig, WorkloadKind};
+
+fn run(design: DesignKind, kind: WorkloadKind, txs: usize) -> morlog_repro::core::SimStats {
+    let cfg = SystemConfig::for_design(design);
+    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+    wl.total_transactions = txs;
+    wl.threads = 2;
+    let trace = generate(kind, &wl);
+    System::new(cfg, &trace).run()
+}
+
+#[test]
+fn every_design_commits_every_transaction() {
+    for design in DesignKind::ALL {
+        let stats = run(design, WorkloadKind::Queue, 80);
+        assert_eq!(stats.transactions_committed, 80, "{design}");
+    }
+}
+
+#[test]
+fn slde_never_increases_write_energy() {
+    // SLDE picks the cheaper of the CRADE path and DLDC per word, so its
+    // energy must not exceed the CRADE configuration of the same design.
+    for (crade, slde) in [
+        (DesignKind::FwbCrade, DesignKind::FwbSlde),
+        (DesignKind::MorLogCrade, DesignKind::MorLogSlde),
+    ] {
+        for kind in [WorkloadKind::Sps, WorkloadKind::Tpcc, WorkloadKind::Echo] {
+            let a = run(crade, kind, 60);
+            let b = run(slde, kind, 60);
+            assert!(
+                b.mem.write_energy_pj <= a.mem.write_energy_pj * 1.02,
+                "{kind}: {slde} used {} pJ vs {crade} {} pJ",
+                b.mem.write_energy_pj,
+                a.mem.write_energy_pj
+            );
+        }
+    }
+}
+
+#[test]
+fn morlog_never_writes_more_log_entries_than_fwb() {
+    for kind in [WorkloadKind::Tpcc, WorkloadKind::Echo, WorkloadKind::Ycsb] {
+        let fwb = run(DesignKind::FwbCrade, kind, 60);
+        let morlog = run(DesignKind::MorLogCrade, kind, 60);
+        assert!(
+            morlog.log.entries_written <= fwb.log.entries_written,
+            "{kind}: morlog {} vs fwb {}",
+            morlog.log.entries_written,
+            fwb.log.entries_written
+        );
+    }
+}
+
+#[test]
+fn consequence_one_only_necessary_log_data() {
+    // CONSEQUENCE 1: for a word updated n > 1 times in a transaction,
+    // morphable logging writes fewer entries than one-per-update. TPCC's
+    // order total is written once per order line.
+    let fwb = run(DesignKind::FwbCrade, WorkloadKind::Tpcc, 60);
+    let morlog = run(DesignKind::MorLogSlde, WorkloadKind::Tpcc, 60);
+    assert!(fwb.log.entries_written as f64 > morlog.log.entries_written as f64 * 1.05);
+}
+
+#[test]
+fn consequence_two_clean_log_data_discarded() {
+    // CONSEQUENCE 2: SPS swaps mostly-identical entries. FWB-SLDE creates
+    // an entry per store and must discard most of them as silent; MorLog's
+    // store-time comparison avoids creating them in the first place. Both
+    // must log far less than FWB-CRADE, which writes everything.
+    let fwb_slde = run(DesignKind::FwbSlde, WorkloadKind::Sps, 60);
+    assert!(
+        fwb_slde.log.silent_discarded > fwb_slde.log.entries_written,
+        "silent {} vs written {}",
+        fwb_slde.log.silent_discarded,
+        fwb_slde.log.entries_written
+    );
+    let morlog = run(DesignKind::MorLogSlde, WorkloadKind::Sps, 60);
+    let fwb_crade = run(DesignKind::FwbCrade, WorkloadKind::Sps, 60);
+    assert!(morlog.log.entries_written * 4 < fwb_crade.log.entries_written);
+    assert!(morlog.log.undo_redo_created * 4 < morlog.tx_stores);
+}
+
+#[test]
+fn motivation_stats_have_paper_shape() {
+    let cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+    let mut clean_fracs = Vec::new();
+    let mut repeat_fracs = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+        wl.total_transactions = 400;
+        wl.threads = 2;
+        let trace = generate(kind, &wl);
+        clean_fracs.push(CleanByteStats::profile(&trace).clean_fraction());
+        repeat_fracs.push(WriteDistanceHistogram::profile(&trace).fraction_repeat());
+    }
+    let clean_avg = clean_fracs.iter().sum::<f64>() / clean_fracs.len() as f64;
+    assert!(
+        clean_avg > 0.4,
+        "Fig. 5 shape: a majority-ish of updated bytes are clean ({clean_avg:.2})"
+    );
+    let repeat_avg = repeat_fracs.iter().sum::<f64>() / repeat_fracs.len() as f64;
+    assert!(
+        repeat_avg > 0.2,
+        "Fig. 3 shape: substantial re-writing within transactions ({repeat_avg:.2})"
+    );
+}
+
+#[test]
+fn large_dataset_runs_complete() {
+    let cfg = SystemConfig::for_design(DesignKind::MorLogDp);
+    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+    wl.total_transactions = 20;
+    wl.dataset = DatasetSize::Large;
+    let trace = generate(WorkloadKind::Sps, &wl);
+    let stats = System::new(cfg, &trace).run();
+    assert_eq!(stats.transactions_committed, 20);
+    assert!(stats.tx_stores >= 20 * 1024, "4 KB entry swaps are 1024 stores each");
+}
+
+#[test]
+fn normalized_metrics_form_a_sane_geometry() {
+    // Gmean of normalized throughputs across designs stays within sane
+    // bounds (no design is 100x off on a tiny run).
+    let mut ratios = Vec::new();
+    let base = run(DesignKind::FwbCrade, WorkloadKind::Hash, 60);
+    let base_cycles = base.cycles as f64;
+    for design in DesignKind::ALL {
+        let s = run(design, WorkloadKind::Hash, 60);
+        ratios.push(base_cycles / s.cycles as f64);
+    }
+    let g = geometric_mean(&ratios).unwrap();
+    assert!((0.5..=3.0).contains(&g), "gmean {g}");
+}
+
+#[test]
+fn expansion_off_increases_nothing_but_bits_accounting() {
+    let cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+    wl.total_transactions = 40;
+    let trace = generate(WorkloadKind::Queue, &wl);
+    let on = System::with_expansion(cfg.clone(), &trace, true).run();
+    let off = System::with_expansion(cfg, &trace, false).run();
+    assert_eq!(on.transactions_committed, off.transactions_committed);
+    // Expansion spreads payloads over more, cheaper cells: with it off the
+    // same payloads program fewer cells at higher energy per cell.
+    assert!(off.mem.cells_programmed <= on.mem.cells_programmed);
+}
