@@ -85,9 +85,15 @@ mod tests {
             name: "t".into(),
             threads: vec![ThreadTrace {
                 transactions: vec![Transaction {
-                    ops: stores.into_iter().map(|(a, v)| Op::Store(Addr::new(a), v)).collect(),
+                    ops: stores
+                        .into_iter()
+                        .map(|(a, v)| Op::Store(Addr::new(a), v))
+                        .collect(),
                 }],
-                initial: initial.into_iter().map(|(a, v)| (Addr::new(a), v)).collect(),
+                initial: initial
+                    .into_iter()
+                    .map(|(a, v)| (Addr::new(a), v))
+                    .collect(),
             }],
         }
     }

@@ -61,7 +61,10 @@ impl PatternStats {
     /// Cumulative coverage of the eight Table II patterns (everything but
     /// the raw escape) — the paper's ≈42.5 %.
     pub fn pattern_coverage(&self) -> f64 {
-        DldcPattern::TABLE_II.iter().map(|&p| self.fraction(p)).sum()
+        DldcPattern::TABLE_II
+            .iter()
+            .map(|&p| self.fraction(p))
+            .sum()
     }
 }
 
@@ -76,7 +79,10 @@ mod tests {
             name: "t".into(),
             threads: vec![ThreadTrace {
                 transactions: vec![Transaction {
-                    ops: stores.into_iter().map(|(a, v)| Op::Store(Addr::new(a), v)).collect(),
+                    ops: stores
+                        .into_iter()
+                        .map(|(a, v)| Op::Store(Addr::new(a), v))
+                        .collect(),
                 }],
                 initial: Vec::new(),
             }],
@@ -108,9 +114,8 @@ mod tests {
 
     #[test]
     fn coverage_between_zero_and_one() {
-        let cfg = morlog_workloads::WorkloadConfig::test_config(
-            morlog_sim_core::Addr::new(0x1000_0000),
-        );
+        let cfg =
+            morlog_workloads::WorkloadConfig::test_config(morlog_sim_core::Addr::new(0x1000_0000));
         let trace = morlog_workloads::generate(morlog_workloads::WorkloadKind::Tpcc, &cfg);
         let s = PatternStats::profile(&trace);
         assert!(s.dirty_words > 0);

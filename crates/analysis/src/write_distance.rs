@@ -98,8 +98,7 @@ impl WriteDistanceHistogram {
                 for op in &tx.ops {
                     if let Op::Store(addr, _) = op {
                         let word = addr.word_base().as_u64();
-                        let distance =
-                            last_store.get(&word).map(|&prev| store_idx - prev - 1);
+                        let distance = last_store.get(&word).map(|&prev| store_idx - prev - 1);
                         hist.record(DistanceBucket::of(distance));
                         last_store.insert(word, store_idx);
                         store_idx += 1;
@@ -111,7 +110,10 @@ impl WriteDistanceHistogram {
     }
 
     fn record(&mut self, bucket: DistanceBucket) {
-        let idx = DistanceBucket::ALL.iter().position(|&b| b == bucket).expect("known bucket");
+        let idx = DistanceBucket::ALL
+            .iter()
+            .position(|&b| b == bucket)
+            .expect("known bucket");
         self.counts[idx] += 1;
         self.total += 1;
     }
@@ -121,7 +123,10 @@ impl WriteDistanceHistogram {
         if self.total == 0 {
             return 0.0;
         }
-        let idx = DistanceBucket::ALL.iter().position(|&b| b == bucket).expect("known bucket");
+        let idx = DistanceBucket::ALL
+            .iter()
+            .position(|&b| b == bucket)
+            .expect("known bucket");
         self.counts[idx] as f64 / self.total as f64
     }
 
@@ -129,10 +134,14 @@ impl WriteDistanceHistogram {
     /// the paper's headline 44.8 % (§II-B measures the share of writes that
     /// a 32-entry log buffer cannot coalesce).
     pub fn fraction_beyond_31(&self) -> f64 {
-        let far: u64 = [DistanceBucket::D32To63, DistanceBucket::D64To127, DistanceBucket::D128Plus]
-            .iter()
-            .map(|b| self.counts[DistanceBucket::ALL.iter().position(|x| x == b).unwrap()])
-            .sum();
+        let far: u64 = [
+            DistanceBucket::D32To63,
+            DistanceBucket::D64To127,
+            DistanceBucket::D128Plus,
+        ]
+        .iter()
+        .map(|b| self.counts[DistanceBucket::ALL.iter().position(|x| x == b).unwrap()])
+        .sum();
         let non_first = self.total - self.counts[0];
         if non_first == 0 {
             0.0
@@ -163,7 +172,10 @@ mod tests {
     use morlog_workloads::trace::{ThreadTrace, Transaction};
 
     fn trace_of(stores: &[u64]) -> WorkloadTrace {
-        let ops = stores.iter().map(|&a| Op::Store(Addr::new(a * 8), 1)).collect();
+        let ops = stores
+            .iter()
+            .map(|&a| Op::Store(Addr::new(a * 8), 1))
+            .collect();
         WorkloadTrace {
             name: "t".into(),
             threads: vec![ThreadTrace {
@@ -207,7 +219,10 @@ mod tests {
         seq.extend(1..=40);
         seq.push(0);
         let h = WriteDistanceHistogram::profile(&trace_of(&seq));
-        assert!((h.fraction_beyond_31() - 1.0).abs() < 1e-12, "the only repeat is far");
+        assert!(
+            (h.fraction_beyond_31() - 1.0).abs() < 1e-12,
+            "the only repeat is far"
+        );
     }
 
     #[test]

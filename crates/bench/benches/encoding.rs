@@ -1,7 +1,12 @@
-//! Criterion micro-benchmarks for the encoding stack: the per-word FPC and
-//! DLDC encoders, the SLDE selector, and full data-block encode/decode.
+//! Micro-benchmarks for the encoding stack: the per-word FPC and DLDC
+//! encoders, the SLDE selector, and full data-block encode/decode.
+//!
+//! Self-contained harness (no external bench framework): each case runs a
+//! short warm-up, then reports the best-of-N wall-clock time per iteration.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use morlog_encoding::cell::CellModel;
 use morlog_encoding::dldc;
 use morlog_encoding::fpc;
@@ -9,77 +14,93 @@ use morlog_encoding::slde::{LogWordRequest, SldeCodec};
 use morlog_sim_core::types::dirty_byte_mask;
 use morlog_sim_core::{DetRng, LineData};
 
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    const WARMUP: usize = 3;
+    const SAMPLES: usize = 10;
+    for _ in 0..WARMUP {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!("{name:<32} {:>12.3} us/iter", best * 1e6);
+}
+
 fn words(n: usize, seed: u64) -> Vec<u64> {
     let mut rng = DetRng::new(seed);
     (0..n)
         .map(|_| match rng.gen_range(4) {
-            0 => rng.gen_range(1 << 16),                  // small integer
-            1 => (rng.next_u64() as i32) as i64 as u64,   // sign-extended
-            2 => rng.next_u64() & 0xFF00_FF00_FF00_FF00,  // sparse bytes
-            _ => rng.next_u64(),                          // random
+            0 => rng.gen_range(1 << 16),                 // small integer
+            1 => (rng.next_u64() as i32) as i64 as u64,  // sign-extended
+            2 => rng.next_u64() & 0xFF00_FF00_FF00_FF00, // sparse bytes
+            _ => rng.next_u64(),                         // random
         })
         .collect()
 }
 
-fn bench_fpc(c: &mut Criterion) {
+fn bench_fpc() {
     let ws = words(1024, 1);
-    c.bench_function("fpc/compress_1k_words", |b| {
-        b.iter(|| {
-            let mut bits = 0u32;
-            for &w in &ws {
-                bits += fpc::compress_word(black_box(w)).total_bits();
-            }
-            bits
-        })
+    bench("fpc/compress_1k_words", || {
+        let mut bits = 0u32;
+        for &w in &ws {
+            bits += fpc::compress_word(black_box(w)).total_bits();
+        }
+        bits
     });
     let encs: Vec<_> = ws.iter().map(|&w| fpc::compress_word(w)).collect();
-    c.bench_function("fpc/decompress_1k_words", |b| {
-        b.iter(|| encs.iter().map(|e| fpc::decompress_word(black_box(e))).sum::<u64>())
+    bench("fpc/decompress_1k_words", || {
+        encs.iter()
+            .map(|e| fpc::decompress_word(black_box(e)))
+            .sum::<u64>()
     });
 }
 
-fn bench_dldc(c: &mut Criterion) {
+fn bench_dldc() {
     let olds = words(1024, 2);
     let news: Vec<u64> = olds.iter().map(|&o| o ^ 0xFF00).collect();
-    c.bench_function("dldc/compress_1k_updates", |b| {
-        b.iter(|| {
-            let mut bits = 0u32;
-            for (&o, &n) in olds.iter().zip(&news) {
-                let mask = dirty_byte_mask(o, n);
-                if let Some(e) = dldc::compress_dirty(black_box(n), mask) {
-                    bits += e.total_bits();
-                }
+    bench("dldc/compress_1k_updates", || {
+        let mut bits = 0u32;
+        for (&o, &n) in olds.iter().zip(&news) {
+            let mask = dirty_byte_mask(o, n);
+            if let Some(e) = dldc::compress_dirty(black_box(n), mask) {
+                bits += e.total_bits();
             }
-            bits
-        })
+        }
+        bits
     });
 }
 
-fn bench_slde(c: &mut Criterion) {
+fn bench_slde() {
     let codec = SldeCodec::new(CellModel::table_iii());
     let olds = words(512, 3);
     let news: Vec<u64> = olds.iter().map(|&o| o.wrapping_add(3)).collect();
-    c.bench_function("slde/select_512_log_words", |b| {
-        b.iter(|| {
-            let mut bits = 0u32;
-            for (&o, &n) in olds.iter().zip(&news) {
-                bits += codec.encode_log_word(&LogWordRequest::redo(n, o)).payload_bits;
-            }
-            bits
-        })
+    bench("slde/select_512_log_words", || {
+        let mut bits = 0u32;
+        for (&o, &n) in olds.iter().zip(&news) {
+            bits += codec
+                .encode_log_word(&LogWordRequest::redo(n, o))
+                .payload_bits;
+        }
+        bits
     });
     let mut line = LineData::zeroed();
     for (i, &w) in words(8, 4).iter().enumerate() {
         line.set_word(i, w);
     }
-    c.bench_function("slde/encode_data_block", |b| {
-        b.iter(|| codec.encode_data_block(black_box(&line)))
+    bench("slde/encode_data_block", || {
+        codec.encode_data_block(black_box(&line))
     });
     let region = codec.encode_data_block(&line);
-    c.bench_function("slde/decode_data_block", |b| {
-        b.iter(|| codec.decode_data_block(black_box(&region)))
+    bench("slde/decode_data_block", || {
+        codec.decode_data_block(black_box(&region))
     });
 }
 
-criterion_group!(benches, bench_fpc, bench_dldc, bench_slde);
-criterion_main!(benches);
+fn main() {
+    bench_fpc();
+    bench_dldc();
+    bench_slde();
+}

@@ -1,51 +1,64 @@
-//! Criterion end-to-end benchmarks: simulated-cycles-per-host-second for a
-//! small run of each design, plus recovery throughput.
+//! End-to-end benchmarks: simulated-cycles-per-host-second for a small run
+//! of each design, plus recovery throughput.
+//!
+//! Self-contained harness (no external bench framework): each case rebuilds
+//! its input per sample and reports the best-of-N wall-clock time.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use morlog_sim::System;
 use morlog_sim_core::{DesignKind, SystemConfig};
 use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
 
-fn bench_full_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("system");
-    group.sample_size(10);
-    for design in [DesignKind::FwbCrade, DesignKind::MorLogSlde, DesignKind::MorLogDp] {
+fn bench_batched<S, R>(name: &str, mut setup: impl FnMut() -> S, mut run: impl FnMut(S) -> R) {
+    const SAMPLES: usize = 5;
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let input = setup();
+        let start = Instant::now();
+        black_box(run(input));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!("{name:<40} {:>12.3} ms/iter", best * 1e3);
+}
+
+fn bench_full_runs() {
+    for design in [
+        DesignKind::FwbCrade,
+        DesignKind::MorLogSlde,
+        DesignKind::MorLogDp,
+    ] {
         let cfg = SystemConfig::for_design(design);
         let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
         wl.total_transactions = 200;
         let trace = generate(WorkloadKind::Tpcc, &wl);
-        group.bench_function(format!("tpcc_200tx/{}", design.label()), |b| {
-            b.iter_batched(
-                || System::new(cfg.clone(), &trace),
-                |mut sys| sys.run(),
-                BatchSize::LargeInput,
-            )
-        });
+        bench_batched(
+            &format!("system/tpcc_200tx/{}", design.label()),
+            || System::new(cfg.clone(), &trace),
+            |mut sys| sys.run(),
+        );
     }
-    group.finish();
 }
 
-fn bench_recovery(c: &mut Criterion) {
+fn bench_recovery() {
     let cfg = SystemConfig::for_design(DesignKind::MorLogDp);
     let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
     wl.total_transactions = 200;
     let trace = generate(WorkloadKind::Tpcc, &wl);
-    let mut group = c.benchmark_group("recovery");
-    group.sample_size(10);
-    group.bench_function("crash_recover_tpcc_200tx", |b| {
-        b.iter_batched(
-            || {
-                let mut sys = System::new(cfg.clone(), &trace);
-                sys.run_for(30_000);
-                sys.crash();
-                sys
-            },
-            |mut sys| sys.recover(),
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    bench_batched(
+        "recovery/crash_recover_tpcc_200tx",
+        || {
+            let mut sys = System::new(cfg.clone(), &trace);
+            sys.run_for(30_000);
+            sys.crash();
+            sys
+        },
+        |mut sys| sys.recover(),
+    );
 }
 
-criterion_group!(benches, bench_full_runs, bench_recovery);
-criterion_main!(benches);
+fn main() {
+    bench_full_runs();
+    bench_recovery();
+}

@@ -33,8 +33,14 @@ fn main() {
     // word-granularity re-encryption of DEUCE (silent words keep their
     // ciphertext, silent discarding still works) separates from whole-line
     // re-encryption (everything diffuses, nothing is discardable).
-    println!("Ablation 1 — secure NVMM (§IV-D), FWB-SLDE on SPS ({} txs)", txs());
-    println!("{:<18} {:>12} {:>14} {:>12}", "mode", "log bits", "write energy", "silent");
+    println!(
+        "Ablation 1 — secure NVMM (§IV-D), FWB-SLDE on SPS ({} txs)",
+        txs()
+    );
+    println!(
+        "{:<18} {:>12} {:>14} {:>12}",
+        "mode", "log bits", "write energy", "silent"
+    );
     let mut base_bits = 0u64;
     for mode in [SecureMode::None, SecureMode::Deuce, SecureMode::Full] {
         let s = run_with(DesignKind::FwbSlde, WorkloadKind::Sps, mode, |_| {});
@@ -53,14 +59,19 @@ fn main() {
 
     println!("Ablation 2 — redo discard on LLC eviction (§III-B), MorLog-SLDE on Echo");
     for (label, on) in [("discard on", true), ("discard off", false)] {
-        let s = run_with(DesignKind::MorLogSlde, WorkloadKind::Echo, SecureMode::None, |c| {
-            c.log.discard_redo_on_llc_evict = on;
-            // A small LLC forces evictions mid-transaction, the case the
-            // discard rule exists for.
-            c.hierarchy.l3.capacity_bytes = 64 * 1024;
-            c.hierarchy.l2.capacity_bytes = 16 * 1024;
-            c.hierarchy.l1.capacity_bytes = 8 * 1024;
-        });
+        let s = run_with(
+            DesignKind::MorLogSlde,
+            WorkloadKind::Echo,
+            SecureMode::None,
+            |c| {
+                c.log.discard_redo_on_llc_evict = on;
+                // A small LLC forces evictions mid-transaction, the case the
+                // discard rule exists for.
+                c.hierarchy.l3.capacity_bytes = 64 * 1024;
+                c.hierarchy.l2.capacity_bytes = 16 * 1024;
+                c.hierarchy.l1.capacity_bytes = 8 * 1024;
+            },
+        );
         println!(
             "  {:<12} NVMM writes {:>8}  redo discarded {:>6}  cycles {:>10}",
             label, s.mem.nvmm_writes, s.log.redo_discarded, s.cycles
@@ -70,9 +81,14 @@ fn main() {
 
     println!("Ablation 3 — eager-eviction window N (must stay < 40-cycle traversal)");
     for n in [4u64, 8, 16, 32] {
-        let s = run_with(DesignKind::MorLogSlde, WorkloadKind::Tpcc, SecureMode::None, |c| {
-            c.log.eager_evict_cycles = n;
-        });
+        let s = run_with(
+            DesignKind::MorLogSlde,
+            WorkloadKind::Tpcc,
+            SecureMode::None,
+            |c| {
+                c.log.eager_evict_cycles = n;
+            },
+        );
         println!(
             "  N={:<3} entries {:>8}  coalesced {:>7}  cycles {:>10}",
             n, s.log.entries_written, s.log.coalesced, s.cycles
@@ -82,9 +98,14 @@ fn main() {
 
     println!("Ablation 4 — force-write-back period (§III-F)");
     for period in [20_000u64, 60_000, 300_000] {
-        let s = run_with(DesignKind::MorLogSlde, WorkloadKind::Ycsb, SecureMode::None, |c| {
-            c.hierarchy.force_write_back_period = period;
-        });
+        let s = run_with(
+            DesignKind::MorLogSlde,
+            WorkloadKind::Ycsb,
+            SecureMode::None,
+            |c| {
+                c.hierarchy.force_write_back_period = period;
+            },
+        );
         println!(
             "  period={:<9} data writes {:>8}  cycles {:>10}",
             period, s.mem.data_writes, s.cycles
@@ -95,9 +116,14 @@ fn main() {
     println!("Ablation 5 — centralized vs distributed logs (§III-F), MorLog-DP on TPCC");
     for slices in [1usize, 4, 16] {
         std::env::set_var("MORLOG_SLICES", slices.to_string());
-        let s = run_with(DesignKind::MorLogDp, WorkloadKind::Tpcc, SecureMode::None, |c| {
-            c.mem.log_slices = std::env::var("MORLOG_SLICES").unwrap().parse().unwrap();
-        });
+        let s = run_with(
+            DesignKind::MorLogDp,
+            WorkloadKind::Tpcc,
+            SecureMode::None,
+            |c| {
+                c.mem.log_slices = std::env::var("MORLOG_SLICES").unwrap().parse().unwrap();
+            },
+        );
         println!(
             "  slices={:<3} cycles {:>10}  entries {:>8}  commit records {:>6}",
             slices, s.cycles, s.log.entries_written, s.log.commit_records

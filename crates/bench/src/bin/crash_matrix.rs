@@ -1,0 +1,147 @@
+//! Crash-consistency matrix: every atomic-persistence design crossed with
+//! workloads, fault plans and crash points. Each cell runs the workload
+//! under an injected-fault plan, crashes mid-flight, recovers and checks
+//! the oracle's prefix invariant — the whole sweep is deterministic in the
+//! base seed (`MORLOG_SEED` or first CLI argument).
+//!
+//! Exits non-zero if any combination fails, so the matrix doubles as a
+//! robustness gate.
+
+use morlog_sim::System;
+use morlog_sim_core::fault::FaultPlan;
+use morlog_sim_core::{DesignKind, SystemConfig};
+use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+
+/// The designs that guarantee atomic persistence (FWB-unsafe is excluded —
+/// it cannot pass a crash matrix by construction, which is its point).
+const DESIGNS: [DesignKind; 5] = [
+    DesignKind::FwbCrade,
+    DesignKind::FwbSlde,
+    DesignKind::MorLogCrade,
+    DesignKind::MorLogSlde,
+    DesignKind::MorLogDp,
+];
+
+const WORKLOADS: [WorkloadKind; 3] = [WorkloadKind::Hash, WorkloadKind::Tpcc, WorkloadKind::Queue];
+
+const CRASH_POINTS: [u64; 2] = [5_000, 12_000];
+
+fn plans(seed: u64) -> [FaultPlan; 5] {
+    [
+        FaultPlan::none(),
+        FaultPlan::single_torn(seed),
+        FaultPlan::single_crash_flip(seed.wrapping_add(101)),
+        FaultPlan::single_drain_flip(seed.wrapping_add(202)),
+        FaultPlan::storm(seed.wrapping_add(303), 3),
+    ]
+}
+
+struct Cell {
+    passed: bool,
+    injected: u32,
+    damaged: bool,
+    error: Option<String>,
+}
+
+fn run_cell(
+    design: DesignKind,
+    kind: WorkloadKind,
+    plan: FaultPlan,
+    crash_cycle: u64,
+    seed: u64,
+) -> Cell {
+    let cfg = SystemConfig::for_design(design);
+    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+    wl.total_transactions = 40;
+    wl.seed = seed;
+    let trace = generate(kind, &wl);
+    let mut sys = System::new(cfg, &trace);
+    sys.set_fault_plan(plan);
+    sys.run_for(crash_cycle);
+    sys.crash();
+    let report = sys.recover();
+    let error = sys.verify_recovery(&report).err();
+    Cell {
+        passed: error.is_none(),
+        injected: sys.memory().fault_plan().injected(),
+        damaged: report.saw_damage(),
+        error,
+    }
+}
+
+fn main() {
+    let base_seed: u64 = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("MORLOG_SEED").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+
+    let plan_labels = ["none", "torn", "flip", "drainflip", "storm"];
+    println!(
+        "crash matrix: {} designs x {} workloads x {} plans x {} crash points (seed {base_seed})",
+        DESIGNS.len(),
+        WORKLOADS.len(),
+        plan_labels.len(),
+        CRASH_POINTS.len()
+    );
+    print!("{:>14} {:>6}", "design", "wload");
+    for label in &plan_labels {
+        for crash in CRASH_POINTS {
+            print!(" {:>14}", format!("{label}@{}k", crash / 1000));
+        }
+    }
+    println!();
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut combos = 0usize;
+    let mut injected_total = 0u64;
+    let mut damaged_cells = 0usize;
+    for design in DESIGNS {
+        for kind in WORKLOADS {
+            print!("{:>14} {:>6}", design.label(), format!("{kind}"));
+            for (pi, _) in plan_labels.iter().enumerate() {
+                for crash_cycle in CRASH_POINTS {
+                    // Every cell gets its own deterministic seed so plans
+                    // hit different in-flight slots across the matrix.
+                    let seed = base_seed
+                        .wrapping_mul(31)
+                        .wrapping_add(combos as u64)
+                        .wrapping_mul(2_654_435_761);
+                    let plan = plans(seed)[pi].clone();
+                    let label = plan.label();
+                    let cell = run_cell(design, kind, plan, crash_cycle, seed);
+                    combos += 1;
+                    injected_total += u64::from(cell.injected);
+                    damaged_cells += usize::from(cell.damaged);
+                    let mark = match (cell.passed, cell.injected > 0) {
+                        (true, true) => format!("ok({})", cell.injected),
+                        (true, false) => "ok".to_string(),
+                        (false, _) => "FAIL".to_string(),
+                    };
+                    print!(" {mark:>14}");
+                    if let Some(e) = cell.error {
+                        failures.push(format!(
+                            "{design}/{kind} plan={label} crash@{crash_cycle} seed={seed}: {e}"
+                        ));
+                    }
+                }
+            }
+            println!();
+        }
+    }
+
+    println!();
+    println!(
+        "{} combos, {} faults injected, {} cells saw classified damage, {} failures",
+        combos,
+        injected_total,
+        damaged_cells,
+        failures.len()
+    );
+    for f in &failures {
+        eprintln!("FAIL: {f}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -28,7 +28,11 @@ fn main() {
         for b in DistanceBucket::ALL {
             print!(" {:>10.1}%", h.fraction(b) * 100.0);
         }
-        println!(" {:>7.1}% {:>7.1}%", h.fraction_beyond_31() * 100.0, h.fraction_repeat() * 100.0);
+        println!(
+            " {:>7.1}% {:>7.1}%",
+            h.fraction_beyond_31() * 100.0,
+            h.fraction_repeat() * 100.0
+        );
     }
     println!("\npaper: 44.8% of non-first writes have distance > 31; 83.1% of data");
     println!("are updated more than once in a transaction (WHISPER apps under PIN).");

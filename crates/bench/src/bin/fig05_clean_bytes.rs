@@ -8,7 +8,10 @@ use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
 fn main() {
     let txs = scaled_txs(2_000);
     println!("Fig. 5 — clean bytes among updated data ({txs} transactions per workload)");
-    println!("{:<10} {:>12} {:>14}", "workload", "clean bytes", "silent stores");
+    println!(
+        "{:<10} {:>12} {:>14}",
+        "workload", "clean bytes", "silent stores"
+    );
     let cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
     let mut fractions = Vec::new();
     for kind in WorkloadKind::ALL {

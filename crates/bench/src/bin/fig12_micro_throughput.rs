@@ -1,14 +1,17 @@
 //! Fig. 12: transaction throughput on the micro-benchmarks, normalized to
 //! FWB-CRADE, for the small (a) and large (b) dataset sizes.
-use morlog_bench::{print_design_header, print_normalized_rows, run_all_designs, scaled_txs, RunSpec};
+use morlog_bench::{
+    print_design_header, print_normalized_rows, run_all_designs, scaled_txs, RunSpec,
+};
 use morlog_sim_core::stats::geometric_mean;
 use morlog_sim_core::DesignKind;
 use morlog_workloads::WorkloadKind;
 
 fn main() {
-    for (label, large, txs) in
-        [("(a) small dataset (64 B)", false, scaled_txs(2_000)), ("(b) large dataset (4 KB)", true, scaled_txs(400))]
-    {
+    for (label, large, txs) in [
+        ("(a) small dataset (64 B)", false, scaled_txs(2_000)),
+        ("(b) large dataset (4 KB)", true, scaled_txs(400)),
+    ] {
         println!("Fig. 12{label} — normalized transaction throughput ({txs} transactions)");
         print_design_header("workload");
         let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); DesignKind::ALL.len()];

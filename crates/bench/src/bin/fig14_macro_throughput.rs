@@ -1,6 +1,8 @@
 //! Fig. 14: transaction throughput on the macro-benchmarks, normalized to
 //! FWB-CRADE.
-use morlog_bench::{print_design_header, print_normalized_rows, run_all_designs, scaled_txs, RunSpec};
+use morlog_bench::{
+    print_design_header, print_normalized_rows, run_all_designs, scaled_txs, RunSpec,
+};
 use morlog_sim_core::stats::geometric_mean;
 use morlog_sim_core::DesignKind;
 use morlog_workloads::{DatasetSize, WorkloadKind};

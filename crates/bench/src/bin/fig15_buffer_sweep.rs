@@ -17,21 +17,23 @@ fn main() {
             // by the tweak (fn pointers cannot capture).
             std::env::set_var("MORLOG_UR_ENTRIES", ur.to_string());
             std::env::set_var("MORLOG_REDO_ENTRIES", redo.to_string());
-            let spec = RunSpec::new(DesignKind::MorLogSlde, WorkloadKind::Echo, txs)
-                .tweak(|cfg| {
-                    cfg.log.undo_redo_entries = std::env::var("MORLOG_UR_ENTRIES")
-                        .unwrap()
-                        .parse()
-                        .unwrap();
-                    cfg.log.redo_entries =
-                        std::env::var("MORLOG_REDO_ENTRIES").unwrap().parse().unwrap();
-                });
+            let spec = RunSpec::new(DesignKind::MorLogSlde, WorkloadKind::Echo, txs).tweak(|cfg| {
+                cfg.log.undo_redo_entries =
+                    std::env::var("MORLOG_UR_ENTRIES").unwrap().parse().unwrap();
+                cfg.log.redo_entries = std::env::var("MORLOG_REDO_ENTRIES")
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+            });
             let r = run(&spec);
             results.push((redo, ur, r.throughput(), r.stats.mem.nvmm_writes));
         }
     }
     let (base_tput, base_writes) = {
-        let r = results.iter().find(|&&(redo, ur, _, _)| redo == 2 && ur == 1).unwrap();
+        let r = results
+            .iter()
+            .find(|&&(redo, ur, _, _)| redo == 2 && ur == 1)
+            .unwrap();
         (r.2, r.3)
     };
     println!("(a) normalized transaction throughput");
@@ -43,7 +45,10 @@ fn main() {
     for &redo in &redo_sizes {
         print!("Redo{redo:0>3}   ");
         for &ur in &ur_sizes {
-            let r = results.iter().find(|&&(rd, u, _, _)| rd == redo && u == ur).unwrap();
+            let r = results
+                .iter()
+                .find(|&&(rd, u, _, _)| rd == redo && u == ur)
+                .unwrap();
             print!(" {:>8.3}", r.2 / base_tput);
         }
         println!();
@@ -57,7 +62,10 @@ fn main() {
     for &redo in &redo_sizes {
         print!("Redo{redo:0>3}   ");
         for &ur in &ur_sizes {
-            let r = results.iter().find(|&&(rd, u, _, _)| rd == redo && u == ur).unwrap();
+            let r = results
+                .iter()
+                .find(|&&(rd, u, _, _)| rd == redo && u == ur)
+                .unwrap();
             print!(" {:>8.3}", r.3 as f64 / base_writes as f64);
         }
         println!();

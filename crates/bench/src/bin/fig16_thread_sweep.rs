@@ -7,9 +7,10 @@ use morlog_workloads::WorkloadKind;
 
 fn main() {
     let threads_axis = [1usize, 2, 4, 8, 16];
-    for (label, large, txs) in
-        [("(a) small dataset", false, scaled_txs(1_200)), ("(b) large dataset", true, scaled_txs(300))]
-    {
+    for (label, large, txs) in [
+        ("(a) small dataset", false, scaled_txs(1_200)),
+        ("(b) large dataset", true, scaled_txs(300)),
+    ] {
         println!("Fig. 16{label} — normalized throughput vs thread count ({txs} transactions)");
         print!("{:<14}", "design");
         for t in threads_axis {

@@ -24,7 +24,11 @@ fn main() {
         let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
         wl.threads = kind.default_threads();
         wl.total_transactions = txs;
-        wl.dataset = if large { DatasetSize::Large } else { DatasetSize::Small };
+        wl.dataset = if large {
+            DatasetSize::Large
+        } else {
+            DatasetSize::Small
+        };
         let trace = generate(kind, &wl);
         let t0 = std::time::Instant::now();
         let mut sys = System::new(cfg.clone(), &trace);

@@ -6,8 +6,7 @@ use morlog_sim_core::DesignKind;
 use morlog_workloads::WorkloadKind;
 
 fn scale_from_env(cfg: &mut morlog_sim_core::SystemConfig) {
-    cfg.mem.write_latency_scale =
-        std::env::var("MORLOG_LAT_SCALE").unwrap().parse().unwrap();
+    cfg.mem.write_latency_scale = std::env::var("MORLOG_LAT_SCALE").unwrap().parse().unwrap();
 }
 
 fn main() {

@@ -8,11 +8,36 @@ fn main() {
     let o = HardwareOverhead::for_config(&LogConfig::default(), 16);
     println!("Table I — hardware overhead of morphable logging");
     println!("{:<28} {:>6} {:>18}", "component", "type", "size");
-    println!("{:<28} {:>6} {:>18}", "log head/tail registers", "FF", format!("{} bytes", o.log_registers_bytes));
-    println!("{:<28} {:>6} {:>18}", "L1 cache extensions", "SRAM", format!("{} bits/line", o.l1_ext_bits_per_line));
-    println!("{:<28} {:>6} {:>18}", "undo+redo buffer", "SRAM", format!("{} bytes", o.undo_redo_buffer_bytes));
-    println!("{:<28} {:>6} {:>18}", "redo buffer", "SRAM", format!("{} bytes", o.redo_buffer_bytes));
-    println!("{:<28} {:>6} {:>18}", "ulog counters (optional)", "FF", format!("{} bytes", o.ulog_counters_bytes));
+    println!(
+        "{:<28} {:>6} {:>18}",
+        "log head/tail registers",
+        "FF",
+        format!("{} bytes", o.log_registers_bytes)
+    );
+    println!(
+        "{:<28} {:>6} {:>18}",
+        "L1 cache extensions",
+        "SRAM",
+        format!("{} bits/line", o.l1_ext_bits_per_line)
+    );
+    println!(
+        "{:<28} {:>6} {:>18}",
+        "undo+redo buffer",
+        "SRAM",
+        format!("{} bytes", o.undo_redo_buffer_bytes)
+    );
+    println!(
+        "{:<28} {:>6} {:>18}",
+        "redo buffer",
+        "SRAM",
+        format!("{} bytes", o.redo_buffer_bytes)
+    );
+    println!(
+        "{:<28} {:>6} {:>18}",
+        "ulog counters (optional)",
+        "FF",
+        format!("{} bytes", o.ulog_counters_bytes)
+    );
     println!();
     println!("SLDE capacity overheads (dirty flag, 1 flag bit per m bytes), §IV-C:");
     for m in [1u32, 2, 4] {

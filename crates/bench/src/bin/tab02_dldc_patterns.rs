@@ -23,7 +23,10 @@ fn main() {
         };
         let trace = generate(kind, &wl);
         let s = PatternStats::profile(&trace);
-        for p in DldcPattern::TABLE_II.iter().chain([DldcPattern::Raw].iter()) {
+        for p in DldcPattern::TABLE_II
+            .iter()
+            .chain([DldcPattern::Raw].iter())
+        {
             *sums.entry(format!("{p:?}")).or_insert(0.0) += s.fraction(*p) / n;
         }
         *sums.entry("coverage".to_string()).or_insert(0.0) += s.pattern_coverage() / n;
@@ -40,8 +43,18 @@ fn main() {
     ];
     println!("{:<18} {:>9} {:>9}", "pattern", "measured", "paper");
     for (name, paper_pct) in paper {
-        println!("{:<18} {:>8.1}% {:>8.1}%", name, sums[name] * 100.0, paper_pct);
+        println!(
+            "{:<18} {:>8.1}% {:>8.1}%",
+            name,
+            sums[name] * 100.0,
+            paper_pct
+        );
     }
-    println!("{:<18} {:>8.1}% {:>8.1}%", "cumulative", sums["coverage"] * 100.0, 42.5);
+    println!(
+        "{:<18} {:>8.1}% {:>8.1}%",
+        "cumulative",
+        sums["coverage"] * 100.0,
+        42.5
+    );
     println!("{:<18} {:>8.1}%", "raw (escape)", sums["Raw"] * 100.0);
 }

@@ -10,7 +10,10 @@ fn main() {
         "{:<8} {:>11} {:>10} {:>13} {:>12} {:>10}",
         "dataset", "FWB-Unsafe", "FWB-SLDE", "MorLog-CRADE", "MorLog-SLDE", "MorLog-DP"
     );
-    for (label, large, txs) in [("Small", false, scaled_txs(2_000)), ("Large", true, scaled_txs(400))] {
+    for (label, large, txs) in [
+        ("Small", false, scaled_txs(2_000)),
+        ("Large", true, scaled_txs(400)),
+    ] {
         let mut sums = vec![0.0f64; DesignKind::ALL.len()];
         for kind in WorkloadKind::MICRO {
             let mut spec = RunSpec::new(DesignKind::FwbCrade, kind, txs);

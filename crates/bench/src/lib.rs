@@ -14,7 +14,10 @@ use morlog_workloads::{generate, DatasetSize, WorkloadConfig, WorkloadKind};
 
 /// Scales a default transaction count by the `MORLOG_TXS` override.
 pub fn scaled_txs(default: usize) -> usize {
-    match std::env::var("MORLOG_TXS").ok().and_then(|v| v.parse::<usize>().ok()) {
+    match std::env::var("MORLOG_TXS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         Some(n) => n,
         None => default,
     }
@@ -93,7 +96,11 @@ pub fn run(spec: &RunSpec) -> RunReport {
     if let Some(tweak) = spec.tweak {
         tweak(&mut cfg);
     }
-    let threads = if spec.threads == 0 { spec.kind.default_threads() } else { spec.threads };
+    let threads = if spec.threads == 0 {
+        spec.kind.default_threads()
+    } else {
+        spec.threads
+    };
     let wl = WorkloadConfig {
         threads: threads.min(cfg.cores.cores),
         total_transactions: spec.transactions,

@@ -34,8 +34,15 @@ impl Cache {
     /// Panics if the set count is not a power of two (hardware indexing).
     pub fn new(cfg: CacheLevelConfig) -> Self {
         let sets = cfg.sets();
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
-        Cache { cfg, sets: vec![Vec::new(); sets], set_mask: sets as u64 - 1 }
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
+        Cache {
+            cfg,
+            sets: vec![Vec::new(); sets],
+            set_mask: sets as u64 - 1,
+        }
     }
 
     /// The geometry of this level.
@@ -49,7 +56,9 @@ impl Cache {
 
     /// Whether the line is present (does not touch LRU order).
     pub fn contains(&self, addr: LineAddr) -> bool {
-        self.sets[self.set_index(addr)].iter().any(|l| l.addr == addr)
+        self.sets[self.set_index(addr)]
+            .iter()
+            .any(|l| l.addr == addr)
     }
 
     /// Looks up a line, promoting it to MRU on hit.
@@ -64,7 +73,9 @@ impl Cache {
 
     /// Looks up a line without changing LRU order.
     pub fn peek(&self, addr: LineAddr) -> Option<&CacheLine> {
-        self.sets[self.set_index(addr)].iter().find(|l| l.addr == addr)
+        self.sets[self.set_index(addr)]
+            .iter()
+            .find(|l| l.addr == addr)
     }
 
     /// Inserts a line as MRU; returns the evicted LRU victim if the set was
@@ -129,7 +140,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 ways × 4 sets of 64-byte lines.
-        Cache::new(CacheLevelConfig { capacity_bytes: 512, ways: 2, latency_cycles: 1 })
+        Cache::new(CacheLevelConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            latency_cycles: 1,
+        })
     }
 
     fn line(idx: u64) -> CacheLine {
@@ -164,7 +179,9 @@ mod tests {
         c.insert(line(0));
         let mut updated = line(0);
         updated.dirty = true;
-        let old = c.insert(updated).expect("same-address replacement returns old");
+        let old = c
+            .insert(updated)
+            .expect("same-address replacement returns old");
         assert!(!old.dirty);
         assert_eq!(c.len(), 1);
         assert!(c.peek(LineAddr::from_index(0)).unwrap().dirty);
@@ -200,6 +217,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_panic() {
-        Cache::new(CacheLevelConfig { capacity_bytes: 3 * 64 * 2, ways: 2, latency_cycles: 1 });
+        Cache::new(CacheLevelConfig {
+            capacity_bytes: 3 * 64 * 2,
+            ways: 2,
+            latency_cycles: 1,
+        });
     }
 }

@@ -38,7 +38,12 @@ impl FwbScheduler {
     /// Panics if `period == 0`.
     pub fn new(period: Cycle) -> Self {
         assert!(period > 0, "scan period must be positive");
-        FwbScheduler { period, next_scan: period, scans_completed: 0, last_two: [None, None] }
+        FwbScheduler {
+            period,
+            next_scan: period,
+            scans_completed: 0,
+            last_two: [None, None],
+        }
     }
 
     /// Whether a scan is due at `now`.

@@ -163,7 +163,10 @@ impl Hierarchy {
         }
         if let Some(l3_line) = self.l3.get_mut(addr) {
             // Inclusive L3 keeps its copy; a clean copy is promoted.
-            let promoted = CacheLine { ext: None, ..*l3_line };
+            let promoted = CacheLine {
+                ext: None,
+                ..*l3_line
+            };
             self.stats[2].hits += 1;
             let events = self.insert_l1(core, promoted);
             return (AccessOutcome::L3Hit, events);
@@ -268,7 +271,10 @@ impl Hierarchy {
                 events.extend(self.insert_l3(victim));
             } else if victim.dirty && !line.dirty {
                 // Replaced a dirty stale copy with a clean one: keep dirty.
-                self.l2[core].get_mut(line.addr).expect("just inserted").dirty = true;
+                self.l2[core]
+                    .get_mut(line.addr)
+                    .expect("just inserted")
+                    .dirty = true;
             }
         }
         events
@@ -320,9 +326,21 @@ mod tests {
 
     fn tiny_cfg() -> HierarchyConfig {
         HierarchyConfig {
-            l1: CacheLevelConfig { capacity_bytes: 256, ways: 2, latency_cycles: 4 },
-            l2: CacheLevelConfig { capacity_bytes: 512, ways: 2, latency_cycles: 12 },
-            l3: CacheLevelConfig { capacity_bytes: 1024, ways: 2, latency_cycles: 28 },
+            l1: CacheLevelConfig {
+                capacity_bytes: 256,
+                ways: 2,
+                latency_cycles: 4,
+            },
+            l2: CacheLevelConfig {
+                capacity_bytes: 512,
+                ways: 2,
+                latency_cycles: 12,
+            },
+            l3: CacheLevelConfig {
+                capacity_bytes: 1024,
+                ways: 2,
+                latency_cycles: 28,
+            },
             force_write_back_period: 1000,
         }
     }
@@ -384,9 +402,9 @@ mod tests {
                 all_events.extend(h.fill(0, addr, data(0)));
             }
         }
-        let l1_pos = all_events.iter().position(
-            |e| matches!(e, EvictionEvent::L1Evicted(l) if l.addr == a),
-        );
+        let l1_pos = all_events
+            .iter()
+            .position(|e| matches!(e, EvictionEvent::L1Evicted(l) if l.addr == a));
         let wb_pos = all_events.iter().position(|e| {
             matches!(e, EvictionEvent::MemoryWriteback { addr, data } if *addr == a && data.word(0) == 99)
         });
@@ -394,7 +412,10 @@ mod tests {
             l1_pos.expect("L1 eviction event for the dirty line"),
             wb_pos.expect("memory writeback with the freshest data"),
         );
-        assert!(l1_pos < wb_pos, "L1 event {l1_pos} precedes writeback {wb_pos}");
+        assert!(
+            l1_pos < wb_pos,
+            "L1 event {l1_pos} precedes writeback {wb_pos}"
+        );
     }
 
     #[test]
@@ -424,7 +445,10 @@ mod tests {
             line.dirty = true;
             line.data.set_word(0, 42);
         }
-        assert!(h.force_write_back_scan().is_empty(), "first scan only flags");
+        assert!(
+            h.force_write_back_scan().is_empty(),
+            "first scan only flags"
+        );
         let written = h.force_write_back_scan();
         assert_eq!(written, vec![(a, data(42))]);
         // Line remains resident and clean.

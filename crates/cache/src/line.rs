@@ -42,7 +42,10 @@ pub struct L1Ext {
 impl L1Ext {
     /// A fresh extension owned by `owner`, all words clean.
     pub fn new(owner: TxKey) -> Self {
-        L1Ext { owner, ..Default::default() }
+        L1Ext {
+            owner,
+            ..Default::default()
+        }
     }
 
     /// Whether any word is in a non-clean state.
@@ -53,7 +56,10 @@ impl L1Ext {
     /// Number of words currently in `ULog` state (feeds the ulog counter of
     /// the delay-persistence commit protocol, §III-C).
     pub fn ulog_words(&self) -> u32 {
-        self.word_state.iter().filter(|&&s| s == WordLogState::ULog).count() as u32
+        self.word_state
+            .iter()
+            .filter(|&&s| s == WordLogState::ULog)
+            .count() as u32
     }
 
     /// Resets every word to `Clean` and clears the dirty flags (after the
@@ -84,7 +90,13 @@ pub struct CacheLine {
 impl CacheLine {
     /// A clean line filled from memory.
     pub fn clean(addr: LineAddr, data: LineData) -> Self {
-        CacheLine { addr, data, dirty: false, fwb_flag: false, ext: None }
+        CacheLine {
+            addr,
+            data,
+            dirty: false,
+            fwb_flag: false,
+            ext: None,
+        }
     }
 
     /// Drops the L1 extensions (when the line moves below L1).

@@ -80,7 +80,11 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Wraps a packed stream of `bits` valid bits.
     pub fn new(words: &'a [u64], bits: usize) -> Self {
-        BitReader { words, bits, pos: 0 }
+        BitReader {
+            words,
+            bits,
+            pos: 0,
+        }
     }
 
     /// Reads the next `width` bits.
@@ -90,7 +94,10 @@ impl<'a> BitReader<'a> {
     /// Panics when reading past the end of the stream.
     pub fn pull(&mut self, width: u32) -> u64 {
         assert!(width <= 64, "field width {width} too large");
-        assert!(self.pos + width as usize <= self.bits, "bit stream underrun");
+        assert!(
+            self.pos + width as usize <= self.bits,
+            "bit stream underrun"
+        );
         if width == 0 {
             return 0;
         }

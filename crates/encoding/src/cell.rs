@@ -95,8 +95,14 @@ impl CellModel {
     ///
     /// Panics if `scale` is not a positive finite number.
     pub fn with_write_latency_scale(&self, scale: f64) -> CellModel {
-        assert!(scale.is_finite() && scale > 0.0, "invalid latency scale {scale}");
-        CellModel { write_latency_scale: scale, ..self.clone() }
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "invalid latency scale {scale}"
+        );
+        CellModel {
+            write_latency_scale: scale,
+            ..self.clone()
+        }
     }
 
     /// Program latency for writing `state` into a cell.
@@ -146,10 +152,15 @@ mod tests {
     #[test]
     fn table_iii_values() {
         let m = CellModel::table_iii();
-        let lat: Vec<f64> =
-            CellState::all().iter().map(|&s| m.write_latency(s).as_f64()).collect();
+        let lat: Vec<f64> = CellState::all()
+            .iter()
+            .map(|&s| m.write_latency(s).as_f64())
+            .collect();
         assert_eq!(lat, vec![15.2, 46.8, 98.3, 143.0, 150.0, 101.0, 52.7, 12.1]);
-        let en: Vec<f64> = CellState::all().iter().map(|&s| m.write_energy(s).as_f64()).collect();
+        let en: Vec<f64> = CellState::all()
+            .iter()
+            .map(|&s| m.write_energy(s).as_f64())
+            .collect();
         assert_eq!(en, vec![2.0, 6.7, 19.3, 35.1, 35.6, 19.6, 8.5, 1.5]);
         assert!((m.read_latency().as_f64() - 25.0).abs() < 1e-12);
     }

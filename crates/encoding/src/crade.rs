@@ -57,7 +57,10 @@ mod tests {
         let old = 0xAAAA_AAAA_AAAA_AAAAu64;
         let new = 0xAAAA_AAAA_AAAA_AAABu64; // 1 dirty byte: DLDC would win, CRADE cannot
         let region = codec.encode_log_entry(&[], &[LogWordRequest::redo(new, old)], 1, 96);
-        assert!(region.choices.iter().all(|&c| c == crate::slde::EncodingChoice::Fpc));
+        assert!(region
+            .choices
+            .iter()
+            .all(|&c| c == crate::slde::EncodingChoice::Fpc));
         let (_, d) = codec.decode_log_entry(&region, 0, &[true], &[old]);
         assert_eq!(d, vec![new]);
     }

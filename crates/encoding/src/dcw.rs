@@ -75,7 +75,11 @@ pub fn write_cost(
     new: &[CellState],
     bits_per_cell: usize,
 ) -> WriteCost {
-    assert_eq!(old.len(), new.len(), "DCW compares equal-length cell vectors");
+    assert_eq!(
+        old.len(),
+        new.len(),
+        "DCW compares equal-length cell vectors"
+    );
     assert!(
         (1..=BITS_PER_CELL).contains(&bits_per_cell),
         "bits_per_cell {bits_per_cell} out of range"
@@ -100,7 +104,10 @@ pub fn write_cost(
 /// Panics if the slices have different lengths.
 pub fn bit_flips(old: &[CellState], new: &[CellState]) -> u64 {
     assert_eq!(old.len(), new.len());
-    old.iter().zip(new.iter()).map(|(o, n)| (o.bits() ^ n.bits()).count_ones() as u64).sum()
+    old.iter()
+        .zip(new.iter())
+        .map(|(o, n)| (o.bits() ^ n.bits()).count_ones() as u64)
+        .sum()
 }
 
 #[cfg(test)]

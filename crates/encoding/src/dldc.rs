@@ -180,13 +180,13 @@ fn matches_pattern(packed: u64, n: u32, pattern: DldcPattern) -> Option<u64> {
             Some(payload)
         }
         DldcPattern::SignExt1Byte => {
-            (n >= 2 && sign_extends_bytes(packed, n, 8)).then(|| packed & 0xFF)
+            (n >= 2 && sign_extends_bytes(packed, n, 8)).then_some(packed & 0xFF)
         }
         DldcPattern::SignExt2Byte => {
-            (n >= 3 && sign_extends_bytes(packed, n, 16)).then(|| packed & 0xFFFF)
+            (n >= 3 && sign_extends_bytes(packed, n, 16)).then_some(packed & 0xFFFF)
         }
         DldcPattern::SignExt4Byte => {
-            (n >= 5 && sign_extends_bytes(packed, n, 32)).then(|| packed & 0xFFFF_FFFF)
+            (n >= 5 && sign_extends_bytes(packed, n, 32)).then_some(packed & 0xFFFF_FFFF)
         }
         DldcPattern::NibblePadded => {
             let mut payload = 0u64;
@@ -198,9 +198,7 @@ fn matches_pattern(packed: u64, n: u32, pattern: DldcPattern) -> Option<u64> {
             }
             Some(payload)
         }
-        DldcPattern::LsByteZero => {
-            (n >= 2 && packed & 0xFF == 0).then(|| packed >> 8)
-        }
+        DldcPattern::LsByteZero => (n >= 2 && packed & 0xFF == 0).then_some(packed >> 8),
         DldcPattern::Raw => {
             let _ = total;
             Some(packed)
@@ -221,11 +219,18 @@ pub fn compress_dirty(word: u64, mask: u8) -> Option<DldcEncoded> {
     }
     let (packed, n) = pack_dirty(word, mask);
     let mut best: Option<DldcEncoded> = None;
-    let candidates =
-        DldcPattern::TABLE_II.iter().copied().chain(std::iter::once(DldcPattern::Raw));
+    let candidates = DldcPattern::TABLE_II
+        .iter()
+        .copied()
+        .chain(std::iter::once(DldcPattern::Raw));
     for pattern in candidates {
         if let Some(payload) = matches_pattern(packed, n, pattern) {
-            let enc = DldcEncoded { pattern, payload, dirty_mask: mask, n_dirty: n };
+            let enc = DldcEncoded {
+                pattern,
+                payload,
+                dirty_mask: mask,
+                n_dirty: n,
+            };
             match &best {
                 Some(b) if b.total_bits() <= enc.total_bits() => {}
                 _ => best = Some(enc),
@@ -310,7 +315,11 @@ mod tests {
             return;
         }
         let enc = compress_dirty(new, mask).unwrap();
-        assert_eq!(decompress(&enc, old), new, "old={old:#x} new={new:#x} enc={enc:?}");
+        assert_eq!(
+            decompress(&enc, old),
+            new,
+            "old={old:#x} new={new:#x} enc={enc:?}"
+        );
     }
 
     #[test]
@@ -328,7 +337,7 @@ mod tests {
         // Tag 110 example 0x10203040 -> nibbles 1,2,3,4.
         let enc = compress_dirty(0x1020_3040, 0x0F).unwrap();
         assert_eq!(enc.pattern, DldcPattern::NibblePadded);
-        assert_eq!(enc.payload, 0x1234 >> 0 & 0xFFFF); // packed LSB-first: 0x4,0x3,0x2,0x1
+        assert_eq!(enc.payload, 0x1234 & 0xFFFF); // packed LSB-first: 0x4,0x3,0x2,0x1
         assert_eq!(enc.total_bits(), 3 + 16);
 
         // Tag 111 example 0x1234567800 (5 dirty bytes, LSByte zero).

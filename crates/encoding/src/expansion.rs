@@ -167,7 +167,10 @@ pub fn map_payload_with_mode(
     payload_bits: usize,
     mode: ExpansionMode,
 ) -> MappedWrite {
-    assert!(payload_bits <= payload.len() * 64, "payload words too short");
+    assert!(
+        payload_bits <= payload.len() * 64,
+        "payload words too short"
+    );
     let bpc = mode.bits_per_cell();
     let cells_used = payload_bits.div_ceil(bpc);
     let mut states = Vec::with_capacity(cells_used);

@@ -91,32 +91,56 @@ fn sign_extends_from(word: u64, bits: u32) -> bool {
 /// (ties resolved toward the lowest tag).
 pub fn compress_word(word: u64) -> FpcEncoded {
     if word == 0 {
-        return FpcEncoded { pattern: FpcPattern::Zero, payload: 0 };
+        return FpcEncoded {
+            pattern: FpcPattern::Zero,
+            payload: 0,
+        };
     }
     if sign_extends_from(word, 8) {
-        return FpcEncoded { pattern: FpcPattern::SignExt8, payload: word & 0xFF };
+        return FpcEncoded {
+            pattern: FpcPattern::SignExt8,
+            payload: word & 0xFF,
+        };
     }
     let bytes = word.to_le_bytes();
     if bytes.iter().all(|&b| b == bytes[0]) {
-        return FpcEncoded { pattern: FpcPattern::RepeatedByte, payload: bytes[0] as u64 };
+        return FpcEncoded {
+            pattern: FpcPattern::RepeatedByte,
+            payload: bytes[0] as u64,
+        };
     }
     if sign_extends_from(word, 16) {
-        return FpcEncoded { pattern: FpcPattern::SignExt16, payload: word & 0xFFFF };
+        return FpcEncoded {
+            pattern: FpcPattern::SignExt16,
+            payload: word & 0xFFFF,
+        };
     }
     let lo = word as u32;
     let hi = (word >> 32) as u32;
     if sign_extends_from(word, 32) {
-        return FpcEncoded { pattern: FpcPattern::SignExt32, payload: word & 0xFFFF_FFFF };
+        return FpcEncoded {
+            pattern: FpcPattern::SignExt32,
+            payload: word & 0xFFFF_FFFF,
+        };
     }
     let half_ext = |h: u32| ((h as i32) << 16 >> 16) as u32 == h;
     if half_ext(lo) && half_ext(hi) {
         let payload = ((hi as u64 & 0xFFFF) << 16) | (lo as u64 & 0xFFFF);
-        return FpcEncoded { pattern: FpcPattern::TwoHalfSignExt16, payload };
+        return FpcEncoded {
+            pattern: FpcPattern::TwoHalfSignExt16,
+            payload,
+        };
     }
     if lo == 0 {
-        return FpcEncoded { pattern: FpcPattern::LowHalfZero, payload: hi as u64 };
+        return FpcEncoded {
+            pattern: FpcPattern::LowHalfZero,
+            payload: hi as u64,
+        };
     }
-    FpcEncoded { pattern: FpcPattern::Uncompressed, payload: word }
+    FpcEncoded {
+        pattern: FpcPattern::Uncompressed,
+        payload: word,
+    }
 }
 
 /// Decompresses a word previously produced by [`compress_word`].

@@ -150,14 +150,25 @@ mod tests {
             let old = i.wrapping_mul(0x0101_0101).wrapping_add(0x4000_0000);
             let new = old + 1 + (i % 9);
             let req = LogWordRequest::redo(new, old);
-            for (slot, mode) in
-                [SecureMode::None, SecureMode::Deuce, SecureMode::Full].iter().enumerate()
+            for (slot, mode) in [SecureMode::None, SecureMode::Deuce, SecureMode::Full]
+                .iter()
+                .enumerate()
             {
                 let t = transform_log_word(&req, *mode, 0xFEED);
                 bits[slot] += codec.encode_log_word(&t).payload_bits as u64;
             }
         }
-        assert!(bits[0] < bits[1], "plaintext beats DEUCE ({} vs {})", bits[0], bits[1]);
-        assert!(bits[1] <= bits[2], "DEUCE beats full encryption ({} vs {})", bits[1], bits[2]);
+        assert!(
+            bits[0] < bits[1],
+            "plaintext beats DEUCE ({} vs {})",
+            bits[0],
+            bits[1]
+        );
+        assert!(
+            bits[1] <= bits[2],
+            "DEUCE beats full encryption ({} vs {})",
+            bits[1],
+            bits[2]
+        );
     }
 }

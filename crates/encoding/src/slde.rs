@@ -108,12 +108,20 @@ impl LogWordRequest {
     /// A log-data word with a hardware-maintained dirty flag (redo entries
     /// carry the flag accumulated in the L1 line, not a recomputed one).
     pub fn with_mask(new: u64, dirty_mask: u8) -> Self {
-        LogWordRequest { new, dirty_mask, log_data: true }
+        LogWordRequest {
+            new,
+            dirty_mask,
+            log_data: true,
+        }
     }
 
     /// A metadata word (entry header, commit record): FPC path only.
     pub fn metadata(value: u64) -> Self {
-        LogWordRequest { new: value, dirty_mask: 0, log_data: false }
+        LogWordRequest {
+            new: value,
+            dirty_mask: 0,
+            log_data: false,
+        }
     }
 }
 
@@ -167,12 +175,20 @@ pub struct SldeCodec {
 impl SldeCodec {
     /// Full SLDE: DLDC + FPC in parallel, expansion coding on.
     pub fn new(model: CellModel) -> Self {
-        SldeCodec { model, use_dldc: true, expansion: true }
+        SldeCodec {
+            model,
+            use_dldc: true,
+            expansion: true,
+        }
     }
 
     /// The CRADE baseline: FPC + expansion coding, no DLDC path.
     pub fn crade(model: CellModel) -> Self {
-        SldeCodec { model, use_dldc: false, expansion: true }
+        SldeCodec {
+            model,
+            use_dldc: false,
+            expansion: true,
+        }
     }
 
     /// Disables or enables expansion coding (Table VI disables it to count
@@ -214,7 +230,11 @@ impl SldeCodec {
             payload_bits += w.len_bits();
             segments.push(self.map_segment(w));
         }
-        EncodedRegion { segments, payload_bits, choices: Vec::new() }
+        EncodedRegion {
+            segments,
+            payload_bits,
+            choices: Vec::new(),
+        }
     }
 
     /// Decodes a data block previously produced by [`encode_data_block`]
@@ -226,7 +246,11 @@ impl SldeCodec {
     ///
     /// [`encode_data_block`]: SldeCodec::encode_data_block
     pub fn decode_data_block(&self, region: &EncodedRegion) -> LineData {
-        assert_eq!(region.segments.len(), WORDS_PER_LINE, "data block has 8 words");
+        assert_eq!(
+            region.segments.len(),
+            WORDS_PER_LINE,
+            "data block has 8 words"
+        );
         let mut line = LineData::zeroed();
         for (i, seg) in region.segments.iter().enumerate() {
             let bits = seg.states.len() * seg.mode.bits_per_cell();
@@ -303,7 +327,11 @@ impl SldeCodec {
             payload_bits += w.len_bits();
             segments.push(self.map_segment(w));
         }
-        EncodedRegion { segments, payload_bits, choices }
+        EncodedRegion {
+            segments,
+            payload_bits,
+            choices,
+        }
     }
 
     /// Decodes a log entry produced by [`encode_log_entry`]: returns the
@@ -335,8 +363,10 @@ impl SldeCodec {
             meta.push(pull_fpc(&mut r));
         }
         let mut data = Vec::with_capacity(old_words.len());
-        for ((seg, &is_log), &old) in
-            region.segments[n_meta..].iter().zip(data_is_log.iter()).zip(old_words.iter())
+        for ((seg, &is_log), &old) in region.segments[n_meta..]
+            .iter()
+            .zip(data_is_log.iter())
+            .zip(old_words.iter())
         {
             let (words, bits) = read_segment(seg);
             let mut r = BitReader::new(&words, bits);
@@ -369,12 +399,18 @@ impl SldeCodec {
                     } else {
                         EncodingChoice::Dldc
                     };
-                    return EncodedLogWord { choice, payload_bits: CHOICE_FLAG_BITS + dldc_bits };
+                    return EncodedLogWord {
+                        choice,
+                        payload_bits: CHOICE_FLAG_BITS + dldc_bits,
+                    };
                 }
             }
         }
         let flag = if req.log_data { CHOICE_FLAG_BITS } else { 0 };
-        EncodedLogWord { choice: EncodingChoice::Fpc, payload_bits: flag + fpc_bits }
+        EncodedLogWord {
+            choice: EncodingChoice::Fpc,
+            payload_bits: flag + fpc_bits,
+        }
     }
 }
 
@@ -426,7 +462,12 @@ fn pull_dldc(r: &mut BitReader<'_>, choice: EncodingChoice) -> DldcEncoded {
             _ => unreachable!("3-bit tag"),
         }
     };
-    let mut probe = DldcEncoded { pattern, payload: 0, dirty_mask, n_dirty };
+    let mut probe = DldcEncoded {
+        pattern,
+        payload: 0,
+        dirty_mask,
+        n_dirty,
+    };
     probe.payload = r.pull(probe.payload_bits());
     probe
 }
@@ -443,7 +484,10 @@ mod tests {
     fn data_block_round_trip() {
         let mut line = LineData::zeroed();
         for i in 0..WORDS_PER_LINE {
-            line.set_word(i, 0x0101_0101u64.wrapping_mul(i as u64 + 1) ^ 0xFFFF_0000_1234);
+            line.set_word(
+                i,
+                0x0101_0101u64.wrapping_mul(i as u64 + 1) ^ 0xFFFF_0000_1234,
+            );
         }
         let region = codec().encode_data_block(&line);
         assert_eq!(codec().decode_data_block(&region), line);
@@ -517,7 +561,10 @@ mod tests {
         let new_a = 0x0102_0304_0506_FFFF; // 2 dirty bytes -> DLDC wins
         let old_b = 0u64;
         let new_b = 0xD3A1_57C2_9B64_E8F1; // everything dirty -> FPC escape
-        let data = [LogWordRequest::redo(new_a, old_a), LogWordRequest::redo(new_b, old_b)];
+        let data = [
+            LogWordRequest::redo(new_a, old_a),
+            LogWordRequest::redo(new_b, old_b),
+        ];
         let region = c.encode_log_entry(&meta, &data, 2, 96);
         let (m, d) = c.decode_log_entry(&region, 2, &[true, true], &[old_a, old_b]);
         assert_eq!(m, meta.to_vec());
@@ -531,9 +578,16 @@ mod tests {
         let c = codec();
         let old = 0x1111_1111_1111_1111u64;
         let new = 0x1111_1111_1111_11FF; // 1 dirty byte, DLDC-friendly
-        let data = [LogWordRequest::redo(new, old), LogWordRequest::redo(new, old)];
+        let data = [
+            LogWordRequest::redo(new, old),
+            LogWordRequest::redo(new, old),
+        ];
         let region = c.encode_log_entry(&[], &data, 1, 96);
-        let dldc_count = region.choices.iter().filter(|&&ch| ch != EncodingChoice::Fpc).count();
+        let dldc_count = region
+            .choices
+            .iter()
+            .filter(|&&ch| ch != EncodingChoice::Fpc)
+            .count();
         assert_eq!(dldc_count, 1, "budget of one DLDC word per entry");
         let (_, d) = c.decode_log_entry(&region, 0, &[true, true], &[old, old]);
         assert_eq!(d, vec![new, new]);

@@ -54,7 +54,10 @@ impl LogBuffer {
     /// Creates an empty buffer with `capacity` entries (may be zero —
     /// FWB-Unsafe folds the redo buffer away).
     pub fn new(capacity: usize) -> Self {
-        LogBuffer { entries: VecDeque::with_capacity(capacity), capacity }
+        LogBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// The configured capacity.
@@ -87,14 +90,19 @@ impl LogBuffer {
         if self.is_full() {
             return Err(BufferFull);
         }
-        self.entries.push_back(Pending { record, created: now });
+        self.entries.push_back(Pending {
+            record,
+            created: now,
+        });
         Ok(())
     }
 
     /// Finds the buffered entry for `(key, word address)`, for coalescing.
     pub fn find_mut(&mut self, key: TxKey, addr: Addr) -> Option<&mut Pending> {
         let addr = addr.word_base();
-        self.entries.iter_mut().find(|p| p.record.key == key && p.record.addr == addr)
+        self.entries
+            .iter_mut()
+            .find(|p| p.record.key == key && p.record.addr == addr)
     }
 
     /// The oldest entry, if any.
@@ -121,7 +129,8 @@ impl LogBuffer {
     /// (LLC-eviction discard); returns how many were removed.
     pub fn remove_line(&mut self, line_index: u64) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|p| p.record.addr.line().index() != line_index);
+        self.entries
+            .retain(|p| p.record.addr.line().index() != line_index);
         before - self.entries.len()
     }
 
@@ -155,12 +164,17 @@ impl LogBuffer {
 
     /// The oldest entry whose word lies in cache line `line_index`.
     pub fn find_line_front(&self, line_index: u64) -> Option<Pending> {
-        self.entries.iter().find(|p| p.record.addr.line().index() == line_index).copied()
+        self.entries
+            .iter()
+            .find(|p| p.record.addr.line().index() == line_index)
+            .copied()
     }
 
     /// Whether any entry's word lies in cache line `line_index`.
     pub fn has_line(&self, line_index: u64) -> bool {
-        self.entries.iter().any(|p| p.record.addr.line().index() == line_index)
+        self.entries
+            .iter()
+            .any(|p| p.record.addr.line().index() == line_index)
     }
 
     /// Removes and returns all entries for line `line_index`, FIFO order
@@ -235,8 +249,14 @@ mod tests {
         let mut b = LogBuffer::new(8);
         b.push(rec(key(0, 1), 0x40), 0).unwrap();
         assert!(b.find_mut(key(0, 1), Addr::new(0x40)).is_some());
-        assert!(b.find_mut(key(0, 1), Addr::new(0x43)).is_some(), "byte within word");
-        assert!(b.find_mut(key(0, 1), Addr::new(0x48)).is_none(), "other word");
+        assert!(
+            b.find_mut(key(0, 1), Addr::new(0x43)).is_some(),
+            "byte within word"
+        );
+        assert!(
+            b.find_mut(key(0, 1), Addr::new(0x48)).is_none(),
+            "other word"
+        );
         assert!(b.find_mut(key(0, 2), Addr::new(0x40)).is_none(), "other tx");
     }
 

@@ -189,6 +189,7 @@ impl LogController {
     ///
     /// [`StoreStall`] when log-buffer backpressure blocks the store; the
     /// engine retries next cycle.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_store(
         &mut self,
         key: TxKey,
@@ -315,7 +316,10 @@ impl LogController {
             self.evict_ur_front(now, mc).map_err(|_| StoreStall)?;
         }
         self.ur_buf
-            .push(LogRecord::undo_redo(key, addr, old, new, dirty_byte_mask(old, new)), now)
+            .push(
+                LogRecord::undo_redo(key, addr, old, new, dirty_byte_mask(old, new)),
+                now,
+            )
             .expect("room ensured");
         self.stats.undo_redo_created += 1;
         Ok(())
@@ -422,7 +426,11 @@ impl LogController {
         now: Cycle,
         mc: &mut MemoryController,
     ) -> bool {
-        if self.is_morlog() && self.cfg.discard_redo_on_llc_evict {
+        // Under an active fault plan the discard is suppressed: recovery may
+        // need a committed winner's redo entries to re-apply words whose
+        // in-place data the crash left behind a gated (undrained-undo) write,
+        // and a damaged record must never be the only copy of a word.
+        if self.is_morlog() && self.cfg.discard_redo_on_llc_evict && !mc.fault_active() {
             let n = self.redo_buf.remove_line(line_index);
             self.stats.redo_discarded += n as u64;
             let before = self.overflow.len();
@@ -471,8 +479,9 @@ impl LogController {
             // is queued; it appends once the transaction's undo+redo entries
             // have drained, preserving the §III-C recovery invariant.
             self.next_commit_ts += 1;
-            self.pending_records
-                .push_back(LogRecord::commit(key, Some(ulog_count)).with_timestamp(self.next_commit_ts));
+            self.pending_records.push_back(
+                LogRecord::commit(key, Some(ulog_count)).with_timestamp(self.next_commit_ts),
+            );
             return;
         }
         for wordinfo in ulog_words {
@@ -481,7 +490,8 @@ impl LogController {
                 now,
             );
         }
-        self.pending_commits.insert(key.thread, PendingCommit { key, started: now });
+        self.pending_commits
+            .insert(key.thread, PendingCommit { key, started: now });
     }
 
     /// Whether `thread`'s synchronous commit is still draining log data.
@@ -636,6 +646,13 @@ impl LogController {
                 continue; // record appends on a later tick pass
             }
             if self.commit_cycle.contains_key(&p.key) {
+                // Under an active fault plan, hold completion until every
+                // record of the transaction has fully drained: the program
+                // must not observe a commit whose log entries a crash could
+                // still tear in the write queue.
+                if mc.fault_active() && mc.tx_has_undrained_records(p.key) {
+                    continue;
+                }
                 self.stats.commit_stall_cycles += now.saturating_sub(p.started);
                 self.pending_commits.remove(&thread);
             }
@@ -644,7 +661,11 @@ impl LogController {
     }
 
     fn tx_has_buffered_undo(&self, key: TxKey) -> bool {
-        self.ur_buf.has_tx(key) || self.overflow.iter().any(|r| r.key == key && r.kind == LogRecordKind::UndoRedo)
+        self.ur_buf.has_tx(key)
+            || self
+                .overflow
+                .iter()
+                .any(|r| r.key == key && r.kind == LogRecordKind::UndoRedo)
     }
 
     fn evict_ur_front(&mut self, now: Cycle, mc: &mut MemoryController) -> Result<PersistedUr, ()> {
@@ -671,9 +692,7 @@ impl LogController {
     ) -> FlushOutcome {
         // Silent log writes: with dirty-flag hardware, completely clean log
         // data are discarded instead of written (§IV-A).
-        if self.has_dirty_flags()
-            && record.kind != LogRecordKind::Commit
-            && record.dirty_mask == 0
+        if self.has_dirty_flags() && record.kind != LogRecordKind::Commit && record.dirty_mask == 0
         {
             self.stats.silent_discarded += 1;
             return FlushOutcome::Discarded;
@@ -762,9 +781,9 @@ impl LogController {
         // transaction must therefore never be deleted while an
         // earlier-committed one still has ring records — across all slices.
         let mut removed: std::collections::HashSet<TxKey> = std::collections::HashSet::new();
-        for slice in 0..n_slices {
+        for (slice, &head) in new_heads.iter().enumerate().take(n_slices) {
             for r in mc.log_regions()[slice].records() {
-                if r.offset < new_heads[slice] {
+                if r.offset < head {
                     removed.insert(r.record.key);
                 }
             }
@@ -779,15 +798,18 @@ impl LogController {
                 }
             }
         }
-        for slice in 0..n_slices {
+        for (slice, slice_head) in new_heads.iter().copied().enumerate().take(n_slices) {
             let region = &mc.log_regions()[slice];
             let head = region.head();
-            let mut new_head = new_heads[slice];
+            let mut new_head = slice_head;
             for stored in region.records() {
                 if stored.offset >= new_head {
                     break;
                 }
-                let c = commit_cycle.get(&stored.record.key).copied().unwrap_or(Cycle::MAX);
+                let c = commit_cycle
+                    .get(&stored.record.key)
+                    .copied()
+                    .unwrap_or(Cycle::MAX);
                 if c > c_lim {
                     new_head = new_head.min(stored.offset);
                 }
@@ -797,8 +819,6 @@ impl LogController {
             }
         }
     }
-
-
 
     /// Crash injection: the buffers and registers are volatile SRAM.
     pub fn on_crash(&mut self) {
@@ -913,8 +933,13 @@ mod tests {
         let mut m = mc();
         let mut line = data_line(&m);
         let key = lc.tx_begin(ThreadId::new(0));
-        lc.on_store(key, line.addr.word_addr(0), 5, 5, &mut line, 0, &mut m).unwrap();
-        assert_eq!(lc.stats().undo_redo_created, 1, "FWB does not compare values");
+        lc.on_store(key, line.addr.word_addr(0), 5, 5, &mut line, 0, &mut m)
+            .unwrap();
+        assert_eq!(
+            lc.stats().undo_redo_created,
+            1,
+            "FWB does not compare values"
+        );
         assert!(line.ext.is_none(), "FWB has no L1 extensions");
     }
 
@@ -925,7 +950,8 @@ mod tests {
         let mut m = mc();
         let mut line = data_line(&m);
         let key = lc.tx_begin(ThreadId::new(0));
-        lc.on_store(key, line.addr.word_addr(0), 0, 42, &mut line, 100, &mut m).unwrap();
+        lc.on_store(key, line.addr.word_addr(0), 0, 42, &mut line, 100, &mut m)
+            .unwrap();
         assert!(lc.tick(100 + cfg.eager_evict_cycles - 1, &mut m).is_empty());
         let persisted = lc.tick(100 + cfg.eager_evict_cycles, &mut m);
         assert_eq!(persisted.len(), 1);
@@ -947,7 +973,8 @@ mod tests {
         let persisted = lc.tick(cfg.eager_evict_cycles, &mut m);
         apply_persisted(&mut line, &persisted);
         // Store again: URLog -> ULog, redo buffered in the line itself.
-        lc.on_store(key, addr, 42, 99, &mut line, 40, &mut m).unwrap();
+        lc.on_store(key, addr, 42, 99, &mut line, 40, &mut m)
+            .unwrap();
         line.data.set_word(0, 99);
         assert_eq!(line.ext.unwrap().word_state[0], WordLogState::ULog);
         assert_eq!(lc.occupancy(), (0, 0, 0), "no new entry for the ULog store");
@@ -957,7 +984,10 @@ mod tests {
         let (_, redo_len, _) = lc.occupancy();
         assert_eq!(redo_len, 1);
         assert_eq!(lc.redo_buf.front().unwrap().record.redo, 99);
-        assert_eq!(lc.redo_buf.front().unwrap().record.kind, LogRecordKind::Redo);
+        assert_eq!(
+            lc.redo_buf.front().unwrap().record.kind,
+            LogRecordKind::Redo
+        );
     }
 
     #[test]
@@ -973,7 +1003,8 @@ mod tests {
         line.data.set_word(0, 42);
         let persisted = lc.tick(cfg.eager_evict_cycles, &mut m);
         apply_persisted(&mut line, &persisted);
-        lc.on_store(key, addr, 42, 99, &mut line, 40, &mut m).unwrap();
+        lc.on_store(key, addr, 42, 99, &mut line, 40, &mut m)
+            .unwrap();
         line.data.set_word(0, 99);
         lc.on_l1_evict(&line, 50);
         assert_eq!(lc.occupancy().1, 1);
@@ -981,10 +1012,15 @@ mod tests {
         let mut line2 = line;
         line2.ext = None;
         let addr2 = line.addr.word_addr(1);
-        lc.on_store(key, addr2, 0, 5, &mut line2, 51, &mut m).unwrap();
+        lc.on_store(key, addr2, 0, 5, &mut line2, 51, &mut m)
+            .unwrap();
         let written_before = m.log_region().records().count();
         assert!(lc.on_llc_writeback(line.addr.index(), 52, &mut m));
-        assert_eq!(lc.stats().redo_discarded, 1, "redo entry dropped: data persisted");
+        assert_eq!(
+            lc.stats().redo_discarded,
+            1,
+            "redo entry dropped: data persisted"
+        );
         assert_eq!(lc.occupancy(), (0, 0, 0));
         // The undo+redo entry was forced out ahead of the data.
         assert_eq!(m.log_region().records().count(), written_before + 1);
@@ -997,11 +1033,16 @@ mod tests {
         let mut m = mc();
         let mut line = data_line(&m);
         let key = lc.tx_begin(ThreadId::new(0));
-        lc.on_store(key, line.addr.word_addr(0), 0, 42, &mut line, 0, &mut m).unwrap();
+        lc.on_store(key, line.addr.word_addr(0), 0, 42, &mut line, 0, &mut m)
+            .unwrap();
         line.data.set_word(0, 42);
         lc.start_commit(
             key,
-            vec![UlogWord { addr: line.addr.word_addr(3), value: 7, dirty_mask: 0xFF }],
+            vec![UlogWord {
+                addr: line.addr.word_addr(3),
+                value: 7,
+                dirty_mask: 0xFF,
+            }],
             0,
             1,
         );
@@ -1013,8 +1054,7 @@ mod tests {
             now += 1;
             assert!(now < 10_000, "commit must complete");
         }
-        let kinds: Vec<LogRecordKind> =
-            m.log_region().records().map(|r| r.record.kind).collect();
+        let kinds: Vec<LogRecordKind> = m.log_region().records().map(|r| r.record.kind).collect();
         assert!(kinds.contains(&LogRecordKind::UndoRedo));
         assert!(kinds.contains(&LogRecordKind::Redo));
         assert_eq!(*kinds.last().unwrap(), LogRecordKind::Commit);
@@ -1028,9 +1068,13 @@ mod tests {
         let mut m = mc();
         let mut line = data_line(&m);
         let key = lc.tx_begin(ThreadId::new(0));
-        lc.on_store(key, line.addr.word_addr(0), 0, 42, &mut line, 0, &mut m).unwrap();
+        lc.on_store(key, line.addr.word_addr(0), 0, 42, &mut line, 0, &mut m)
+            .unwrap();
         lc.start_commit(key, Vec::new(), 3, 1);
-        assert!(!lc.is_commit_pending(ThreadId::new(0)), "DP commit is instant");
+        assert!(
+            !lc.is_commit_pending(ThreadId::new(0)),
+            "DP commit is instant"
+        );
         // The pending commit record pulls the transaction's undo+redo entry
         // into the log ahead of itself (write-ahead completeness: a commit
         // record in the ring implies every undo+redo entry is too).
@@ -1044,9 +1088,10 @@ mod tests {
 
     #[test]
     fn slde_discards_silent_entries_crade_writes_them() {
-        for (design, expect_silent) in
-            [(DesignKind::MorLogSlde, 1u64), (DesignKind::MorLogCrade, 0u64)]
-        {
+        for (design, expect_silent) in [
+            (DesignKind::MorLogSlde, 1u64),
+            (DesignKind::MorLogCrade, 0u64),
+        ] {
             let cfg = LogConfig::default();
             let mut lc = LogController::new(design, cfg);
             let mut m = mc();
@@ -1077,13 +1122,19 @@ mod tests {
         line.data.set_word(0, 42);
         let persisted = lc.tick(cfg.eager_evict_cycles, &mut m);
         apply_persisted(&mut line, &persisted);
-        lc.on_store(key, addr, 42, 99, &mut line, 40, &mut m).unwrap();
+        lc.on_store(key, addr, 42, 99, &mut line, 40, &mut m)
+            .unwrap();
         line.data.set_word(0, 99);
         lc.on_l1_evict(&line, 50); // redo entry (99) buffered
-        // Line refetched clean; the same tx writes the word again.
+                                   // Line refetched clean; the same tx writes the word again.
         let mut refetched = CacheLine::clean(line.addr, line.data);
-        lc.on_store(key, addr, 99, 123, &mut refetched, 60, &mut m).unwrap();
-        assert_eq!(lc.stats().redo_discarded, 1, "stale redo superseded by new entry");
+        lc.on_store(key, addr, 99, 123, &mut refetched, 60, &mut m)
+            .unwrap();
+        assert_eq!(
+            lc.stats().redo_discarded,
+            1,
+            "stale redo superseded by new entry"
+        );
         assert_eq!(lc.occupancy().1, 0);
     }
 
@@ -1096,17 +1147,24 @@ mod tests {
         let t = ThreadId::new(0);
         let key1 = lc.tx_begin(t);
         let addr = line.addr.word_addr(0);
-        lc.on_store(key1, addr, 0, 42, &mut line, 0, &mut m).unwrap();
+        lc.on_store(key1, addr, 0, 42, &mut line, 0, &mut m)
+            .unwrap();
         line.data.set_word(0, 42);
         let persisted = lc.tick(cfg.eager_evict_cycles, &mut m);
         apply_persisted(&mut line, &persisted);
-        lc.on_store(key1, addr, 42, 99, &mut line, 40, &mut m).unwrap();
+        lc.on_store(key1, addr, 42, 99, &mut line, 40, &mut m)
+            .unwrap();
         line.data.set_word(0, 99);
         lc.start_commit(key1, Vec::new(), 1, 41); // DP: word stays ULog
-        // New transaction writes another word of the same line.
+                                                  // New transaction writes another word of the same line.
         let key2 = lc.tx_begin(t);
-        lc.on_store(key2, line.addr.word_addr(1), 0, 5, &mut line, 50, &mut m).unwrap();
-        assert_eq!(lc.stats().redo_created, 1, "key1's ULog word flushed as redo");
+        lc.on_store(key2, line.addr.word_addr(1), 0, 5, &mut line, 50, &mut m)
+            .unwrap();
+        assert_eq!(
+            lc.stats().redo_created,
+            1,
+            "key1's ULog word flushed as redo"
+        );
         assert_eq!(lc.stats().post_commit_redo, 1);
         let ext = line.ext.unwrap();
         assert_eq!(ext.owner, key2);
@@ -1116,14 +1174,19 @@ mod tests {
 
     #[test]
     fn buffer_full_stalls_store_when_wq_full() {
-        let mut memcfg = MemConfig::default();
-        memcfg.write_queue_entries = 1;
+        let memcfg = MemConfig {
+            write_queue_entries: 1,
+            ..Default::default()
+        };
         let mut m = MemoryController::with_default_map(
             memcfg,
             Frequency::ghz(3.0),
             SldeCodec::new(CellModel::table_iii()),
         );
-        let cfg = LogConfig { undo_redo_entries: 2, ..Default::default() };
+        let cfg = LogConfig {
+            undo_redo_entries: 2,
+            ..Default::default()
+        };
         let mut lc = LogController::new(DesignKind::MorLogSlde, cfg);
         let key = lc.tx_begin(ThreadId::new(0));
         let base = m.map().data_base().line();
@@ -1140,7 +1203,10 @@ mod tests {
                 break;
             }
         }
-        assert!(stalled, "store must stall once buffer and write queue are full");
+        assert!(
+            stalled,
+            "store must stall once buffer and write queue are full"
+        );
     }
 
     #[test]
@@ -1152,7 +1218,8 @@ mod tests {
         let mut line = data_line(&m);
         // tx1 commits at ~cycle 100.
         let key1 = lc.tx_begin(t);
-        lc.on_store(key1, line.addr.word_addr(0), 0, 1, &mut line, 0, &mut m).unwrap();
+        lc.on_store(key1, line.addr.word_addr(0), 0, 1, &mut line, 0, &mut m)
+            .unwrap();
         line.data.set_word(0, 1);
         lc.start_commit(key1, Vec::new(), 0, 100);
         let mut now = 100;
@@ -1165,13 +1232,18 @@ mod tests {
         let key2 = lc.tx_begin(t);
         let line2_addr = LineAddr::from_index(line.addr.index() + 1);
         let mut line2 = CacheLine::clean(line2_addr, LineData::zeroed());
-        lc.on_store(key2, line2_addr.word_addr(0), 0, 2, &mut line2, now, &mut m).unwrap();
+        lc.on_store(key2, line2_addr.word_addr(0), 0, 2, &mut line2, now, &mut m)
+            .unwrap();
         lc.tick(now + cfg.eager_evict_cycles, &mut m);
         let before = m.log_region().records().count();
         assert_eq!(before, 3); // tx1 entry + commit, tx2 entry
         lc.truncate(now + 1000, &mut m);
         let remaining: Vec<_> = m.log_region().records().map(|r| r.record.key).collect();
-        assert_eq!(remaining, vec![key2], "only the live transaction's entry remains");
+        assert_eq!(
+            remaining,
+            vec![key2],
+            "only the live transaction's entry remains"
+        );
     }
 }
 
@@ -1206,7 +1278,10 @@ mod silent_anchor_tests {
         line.data.set_word(0, 0);
         let persisted = lc.tick(cfg.eager_evict_cycles + 1, &mut m);
         assert_eq!(persisted.len(), 1);
-        assert!(persisted[0].silent, "coalesced-to-silent entry is discarded");
+        assert!(
+            persisted[0].silent,
+            "coalesced-to-silent entry is discarded"
+        );
         assert_eq!(m.log_region().records().count(), 0, "nothing written");
         // The engine sends the word back to Clean on a silent notification;
         // a later write must create a fresh undo+redo entry (not a redo).
@@ -1241,7 +1316,8 @@ mod silent_anchor_tests {
         assert_eq!(m.log_region().records().count(), 1);
         // Word still marked Dirty (no notification went to the engine);
         // the next store opens a new entry with undo = 42.
-        lc.on_store(key, addr, 42, 99, &mut line, 2, &mut m).unwrap();
+        lc.on_store(key, addr, 42, 99, &mut line, 2, &mut m)
+            .unwrap();
         assert_eq!(lc.stats().undo_redo_created, 2);
         let p = lc.ur_buf.front().unwrap();
         assert_eq!(p.record.undo, Some(42));

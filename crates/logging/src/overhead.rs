@@ -78,7 +78,11 @@ mod tests {
 
     #[test]
     fn scales_with_buffer_sizes() {
-        let cfg = LogConfig { undo_redo_entries: 32, redo_entries: 64, ..Default::default() };
+        let cfg = LogConfig {
+            undo_redo_entries: 32,
+            redo_entries: 64,
+            ..Default::default()
+        };
         let o = HardwareOverhead::for_config(&cfg, 8);
         assert_eq!(o.undo_redo_buffer_bytes, 808);
         assert_eq!(o.redo_buffer_bytes, 1104);

@@ -1,36 +1,104 @@
-//! The recovery routine (§III-E).
+//! The recovery routine (§III-E), hardened against damaged log slots.
 //!
 //! After a failure, the routine scans the log region from head to tail,
-//! decides which transactions committed (and, under delay-persistence,
-//! which committed transactions were *persisted*), then rolls winners
-//! forward with their redo data in commit order and rolls losers back with
-//! their undo data in reverse append order.
+//! *classifies* every record (valid, torn by an interrupted drain, or
+//! corrupt per its integrity footprint), decides which transactions
+//! committed (and, under delay-persistence, which committed transactions
+//! were *persisted*), then rolls winners forward with their redo data in
+//! commit order and rolls losers back with their undo data in reverse
+//! append order.
+//!
+//! Damage handling rests on two hardware invariants the controller
+//! enforces:
+//!
+//! - A slot's metadata header (and a commit slot entirely) is one atomic
+//!   row program, so every damaged record is still attributable to its
+//!   thread, transaction and home address — only *data* words tear or flip.
+//! - Under an active fault plan the controller gates in-place data writes
+//!   behind undrained undo slots for the same line, and holds synchronous
+//!   commit completion until the transaction's records have drained. A
+//!   damaged record therefore always belongs to a transaction the program
+//!   never observed as committed, and a damaged undo slot implies its home
+//!   line was never overwritten in place.
+//!
+//! Roll-forward stops per thread at the first damaged record in its slice:
+//! later records of that thread are dropped from winner determination and
+//! replay (reported in [`RecoveryReport`]). Roll-back inspects the oldest
+//! undo+redo entry per (transaction, word): a valid anchor restores the
+//! pre-transaction value; a damaged anchor means the gated in-place write
+//! never landed, so the word is skipped — it already holds that value.
 //!
 //! Winners are replayed **in commit order** (cross-transaction) and in
-//! append order within a transaction; losers are undone in reverse global
-//! append order. With lock-based isolation (§III-A) the per-word entry
-//! order in the ring matches program order, which makes this replay
-//! schedule equivalent to the paper's "redone with the redo data / undone
-//! with the undo data" description while remaining correct when entries of
-//! different transactions interleave in the ring.
+//! append order within a transaction; losers are undone in reverse append
+//! order. With lock-based isolation (§III-A) the per-word entry order in
+//! the ring matches program order, which keeps this schedule equivalent to
+//! the paper's description when entries of different transactions
+//! interleave in the ring.
 
 use std::collections::{HashMap, HashSet};
 
-use morlog_nvm::controller::MemoryController;
-use morlog_nvm::log::{LogRecordKind, StoredRecord};
+use morlog_nvm::controller::{MemoryController, ScannedRecord};
+use morlog_nvm::log::{LogRecord, LogRecordKind};
 use morlog_sim_core::ids::TxKey;
-use morlog_sim_core::Addr;
+use morlog_sim_core::{Addr, ThreadId};
 
 /// What recovery did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Committed (and persisted) transactions rolled forward, commit order.
     pub redone: Vec<TxKey>,
-    /// Transactions rolled back (uncommitted, or committed-but-not-persisted
-    /// under delay-persistence).
+    /// Transactions rolled back (uncommitted, committed-but-not-persisted
+    /// under delay-persistence, or demoted because the crash damaged one of
+    /// their records before their commit could be trusted).
     pub undone: Vec<TxKey>,
     /// Ring records scanned.
     pub records_scanned: usize,
+    /// Records an interrupted drain truncated (a strict prefix of their
+    /// data words persisted). Classified and excluded from replay.
+    pub torn_records: usize,
+    /// Records whose integrity footprint or metadata header failed to
+    /// check out (escaped bit flips). Excluded from replay.
+    pub corrupt_records: usize,
+    /// Undamaged records dropped from roll-forward because they follow a
+    /// damaged record of the same thread (replay stops at first damage).
+    pub dropped_records: usize,
+}
+
+impl RecoveryReport {
+    /// Whether the scan found any damaged or dropped records.
+    pub fn saw_damage(&self) -> bool {
+        self.torn_records > 0 || self.corrupt_records > 0 || self.dropped_records > 0
+    }
+}
+
+/// Why a scanned record was excluded from replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Damage {
+    /// A crash cut the slot's drain short: fewer data words persisted than
+    /// the record kind carries.
+    Torn,
+    /// The slot's contents fail their integrity footprint (or the header
+    /// fields are internally inconsistent).
+    Corrupt,
+}
+
+/// Classifies one scanned slot. Torn wins over corrupt: a truncated slot
+/// also fails its CRC, but the distinction matters for reporting.
+fn classify(s: &ScannedRecord) -> Option<Damage> {
+    let r = &s.stored.record;
+    if s.words_persisted < r.kind.data_words() {
+        return Some(Damage::Torn);
+    }
+    if LogRecord::decode_meta(r.meta_words()).is_err() {
+        return Some(Damage::Corrupt);
+    }
+    if r.kind == LogRecordKind::UndoRedo && r.undo.is_none() {
+        return Some(Damage::Corrupt);
+    }
+    if !r.crc_ok(s.stored.torn) {
+        return Some(Damage::Corrupt);
+    }
+    None
 }
 
 /// Runs recovery over the controller's log region and applies the log data
@@ -55,22 +123,60 @@ pub struct RecoveryReport {
 /// );
 /// let report = recover(&mut mc, false);
 /// assert!(report.redone.is_empty() && report.undone.is_empty());
+/// assert!(!report.saw_damage());
 /// ```
 pub fn recover(mc: &mut MemoryController, delay_persistence: bool) -> RecoveryReport {
-    // Gather records from every log slice (one for the centralized log,
-    // several for the §III-F distributed variant). A transaction's records
-    // all live in its thread's slice, so per-slice `seq` ordering is enough
-    // within a transaction; commit order across slices comes from the
-    // timestamps in the commit records.
-    let records: Vec<StoredRecord> =
-        mc.log_regions().iter().flat_map(|r| r.records().copied()).collect();
-    let mut report = RecoveryReport { records_scanned: records.len(), ..Default::default() };
+    // Gather and classify records from every log slice (one for the
+    // centralized log, several for the §III-F distributed variant). A
+    // transaction's records all live in its thread's slice, so per-slice
+    // `seq` ordering is enough within a transaction; commit order across
+    // slices comes from the timestamps in the commit records.
+    let scanned = mc.scan_log();
+    let mut report = RecoveryReport {
+        records_scanned: scanned.len(),
+        ..Default::default()
+    };
+    let entries: Vec<(ScannedRecord, Option<Damage>)> =
+        scanned.into_iter().map(|s| (s, classify(&s))).collect();
+    for (_, damage) in &entries {
+        match damage {
+            Some(Damage::Torn) => report.torn_records += 1,
+            Some(Damage::Corrupt) => report.corrupt_records += 1,
+            None => {}
+        }
+    }
+
+    // Per-thread roll-forward cutoff: the first damaged record in a
+    // thread's slice ends that thread's trustworthy region. (Damaged
+    // records keep a readable header, so they still name their thread.)
+    let mut cutoff: HashMap<ThreadId, u64> = HashMap::new();
+    for (s, damage) in &entries {
+        if damage.is_some() {
+            let c = cutoff
+                .entry(s.stored.record.key.thread)
+                .or_insert(s.stored.seq);
+            *c = (*c).min(s.stored.seq);
+        }
+    }
+    let usable = |s: &ScannedRecord, damage: &Option<Damage>| {
+        damage.is_none()
+            && cutoff
+                .get(&s.stored.record.key.thread)
+                .is_none_or(|&c| s.stored.seq < c)
+    };
+    report.dropped_records = entries
+        .iter()
+        .filter(|(s, d)| d.is_none() && !usable(s, d))
+        .count();
 
     // Commit records ordered by timestamp (ties keep scan order, which is
     // the ring order of the centralized log).
-    let mut commits: Vec<&StoredRecord> =
-        records.iter().filter(|r| r.record.kind == LogRecordKind::Commit).collect();
-    commits.sort_by_key(|r| r.record.timestamp);
+    let mut commits: Vec<&ScannedRecord> = entries
+        .iter()
+        .filter(|(s, d)| s.stored.record.kind == LogRecordKind::Commit && usable(s, d))
+        .map(|(s, _)| s)
+        .collect();
+    commits.sort_by_key(|s| s.stored.record.timestamp);
 
     // Which committed transactions count as winners.
     let mut winners: Vec<TxKey> = Vec::new();
@@ -78,68 +184,101 @@ pub fn recover(mc: &mut MemoryController, delay_persistence: bool) -> RecoveryRe
     if delay_persistence {
         // §III-C/§III-E: a committed transaction is persisted iff the number
         // of redo entries appended after its commit record equals the logged
-        // ulog counter. The first non-persisted commit cuts off everything
-        // that committed later (persistence must follow commit order).
+        // ulog counter. Only usable records count — a damaged or dropped
+        // redo entry must demote its transaction. The first non-persisted
+        // commit cuts off everything that committed later (persistence must
+        // follow commit order).
         for commit in &commits {
-            let ulog = commit.record.ulog_count.unwrap_or(0) as usize;
-            let post_redo = records
+            let ulog = commit.stored.record.ulog_count.unwrap_or(0) as usize;
+            let post_redo = entries
                 .iter()
-                .filter(|r| {
-                    r.record.kind == LogRecordKind::Redo
-                        && r.record.key == commit.record.key
-                        && r.seq > commit.seq
+                .filter(|(s, d)| {
+                    usable(s, d)
+                        && s.stored.record.kind == LogRecordKind::Redo
+                        && s.stored.record.key == commit.stored.record.key
+                        && s.stored.seq > commit.stored.seq
                 })
                 .count();
             if post_redo == ulog {
-                winners.push(commit.record.key);
-                winner_set.insert(commit.record.key);
+                winners.push(commit.stored.record.key);
+                winner_set.insert(commit.stored.record.key);
             } else {
                 break;
             }
         }
     } else {
         for commit in &commits {
-            winners.push(commit.record.key);
-            winner_set.insert(commit.record.key);
+            winners.push(commit.stored.record.key);
+            winner_set.insert(commit.stored.record.key);
         }
     }
 
-    // Group data records per transaction, preserving append order.
-    let mut by_tx: HashMap<TxKey, Vec<&StoredRecord>> = HashMap::new();
-    for r in &records {
-        if r.record.kind != LogRecordKind::Commit {
-            by_tx.entry(r.record.key).or_default().push(r);
+    // Group usable data records per transaction, preserving append order.
+    let mut by_tx: HashMap<TxKey, Vec<&ScannedRecord>> = HashMap::new();
+    for (s, d) in &entries {
+        if s.stored.record.kind != LogRecordKind::Commit && usable(s, d) {
+            by_tx.entry(s.stored.record.key).or_default().push(s);
         }
     }
 
     // Forward pass: winners in commit order, records in append order.
     for key in &winners {
         if let Some(recs) = by_tx.get(key) {
-            for r in recs {
-                apply_word(mc, r.record.addr, r.record.redo);
+            for s in recs {
+                apply_word(mc, s.stored.record.addr, s.stored.record.redo);
             }
         }
     }
     report.redone = winners;
 
-    // Backward pass: losers in reverse global append order, undo data only.
-    // Transactions with only redo records and no commit record are orphans:
-    // their log was already truncated (they are fully durable in place) and
-    // a straggler redo entry was appended afterwards — nothing is applied
-    // and they are not reported.
+    // Backward pass. When several rolled-back transactions touched a word
+    // (delay-persistence cutoff, damage cutoff), their undo values chain:
+    // each one's undo is the previous one's write, so walking the whole
+    // chain in reverse lands on the undo of the *globally oldest*
+    // rolled-back entry — the last value the surviving winners produced.
+    // We therefore anchor each word at that single oldest entry across
+    // all rolled-back transactions and apply only it. A damaged anchor
+    // means the slot was still in flight at the crash, so the write-ahead
+    // gate kept every later store to the word's line from persisting —
+    // the in-place line (plus the forward replay above) already holds the
+    // pre-rollback value and the word is skipped.
     let mut undone_set: HashSet<TxKey> = HashSet::new();
-    for r in records.iter().rev() {
-        if r.record.kind == LogRecordKind::UndoRedo && !winner_set.contains(&r.record.key) {
-            let undo = r.record.undo.expect("undo+redo entries carry undo data");
-            apply_word(mc, r.record.addr, undo);
-            undone_set.insert(r.record.key);
+    let mut anchors: HashMap<Addr, &(ScannedRecord, Option<Damage>)> = HashMap::new();
+    for e in &entries {
+        let r = &e.0.stored.record;
+        if r.kind != LogRecordKind::UndoRedo || winner_set.contains(&r.key) {
+            continue;
+        }
+        undone_set.insert(r.key);
+        anchors
+            .entry(r.addr)
+            .and_modify(|cur| {
+                if (e.0.slice, e.0.stored.seq) < (cur.0.slice, cur.0.stored.seq) {
+                    *cur = e;
+                }
+            })
+            .or_insert(e);
+    }
+    let mut undos: Vec<(usize, u64, Addr, u64)> = Vec::new();
+    for (&addr, (s, damage)) in &anchors {
+        if damage.is_none() {
+            if let Some(undo) = s.stored.record.undo {
+                undos.push((s.slice, s.stored.seq, addr, undo));
+            }
         }
     }
+    undos.sort_by_key(|&(slice, seq, _, _)| (slice, seq));
+    for &(_, _, addr, undo) in undos.iter().rev() {
+        apply_word(mc, addr, undo);
+    }
     // Committed-but-unpersisted transactions past the delay-persistence
-    // cutoff are rolled back even if only their commit record names them.
-    for commit in &commits {
-        if !winner_set.contains(&commit.record.key) {
-            undone_set.insert(commit.record.key);
+    // cutoff — and transactions whose commit record was dropped behind a
+    // damaged record — are rolled back even if only their commit record
+    // names them.
+    for (s, _) in &entries {
+        let r = &s.stored.record;
+        if r.kind == LogRecordKind::Commit && !winner_set.contains(&r.key) {
+            undone_set.insert(r.key);
         }
     }
     let mut undone: Vec<TxKey> = undone_set.into_iter().collect();
@@ -187,11 +326,13 @@ mod tests {
         let mut m = mc();
         let a = m.map().data_base(); // word 0 of the first data line
         let k = key(0, 0);
-        m.try_append_log(LogRecord::undo_redo(k, a, 0, 42, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k, a, 0, 42, 0xFF), 0)
+            .unwrap();
         m.try_append_log(LogRecord::commit(k, None), 0).unwrap();
         let report = recover(&mut m, false);
         assert_eq!(report.redone, vec![k]);
         assert!(report.undone.is_empty());
+        assert!(!report.saw_damage());
         assert_eq!(word_at(&m, a), 42);
         assert!(m.log_region().is_empty());
     }
@@ -203,7 +344,8 @@ mod tests {
         let k = key(0, 0);
         // Simulate: undo+redo persisted, then in-place data updated, crash
         // before commit.
-        m.try_append_log(LogRecord::undo_redo(k, a, 7, 42, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k, a, 7, 42, 0xFF), 0)
+            .unwrap();
         let mut line = m.read_line(a.line());
         line.set_word(0, 42);
         m.write_line_functional(a.line(), line);
@@ -217,9 +359,12 @@ mod tests {
         let mut m = mc();
         let a = m.map().data_base();
         let k = key(0, 0);
-        m.try_append_log(LogRecord::undo_redo(k, a, 0, 1, 0xFF), 0).unwrap();
-        m.try_append_log(LogRecord::redo_only(k, a, 2, 0xFF), 0).unwrap();
-        m.try_append_log(LogRecord::redo_only(k, a, 3, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k, a, 0, 1, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::redo_only(k, a, 2, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::redo_only(k, a, 3, 0xFF), 0)
+            .unwrap();
         m.try_append_log(LogRecord::commit(k, None), 0).unwrap();
         recover(&mut m, false);
         assert_eq!(word_at(&m, a), 3);
@@ -231,9 +376,11 @@ mod tests {
         let a = m.map().data_base();
         let k = key(0, 0);
         // Two undo+redo entries for the same word (line was evicted and
-        // re-fetched mid-transaction): reverse-order undo ends at the oldest.
-        m.try_append_log(LogRecord::undo_redo(k, a, 10, 20, 0xFF), 0).unwrap();
-        m.try_append_log(LogRecord::undo_redo(k, a, 20, 30, 0xFF), 0).unwrap();
+        // re-fetched mid-transaction): the oldest anchors the rollback.
+        m.try_append_log(LogRecord::undo_redo(k, a, 10, 20, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::undo_redo(k, a, 20, 30, 0xFF), 0)
+            .unwrap();
         recover(&mut m, false);
         assert_eq!(word_at(&m, a), 10);
     }
@@ -245,9 +392,11 @@ mod tests {
         let k1 = key(0, 0);
         let k2 = key(1, 0);
         // tx1 writes 5, commits; tx2 writes 9 (undo = 5), commits.
-        m.try_append_log(LogRecord::undo_redo(k1, a, 0, 5, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k1, a, 0, 5, 0xFF), 0)
+            .unwrap();
         m.try_append_log(LogRecord::commit(k1, None), 0).unwrap();
-        m.try_append_log(LogRecord::undo_redo(k2, a, 5, 9, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k2, a, 5, 9, 0xFF), 0)
+            .unwrap();
         m.try_append_log(LogRecord::commit(k2, None), 0).unwrap();
         recover(&mut m, false);
         assert_eq!(word_at(&m, a), 9, "later commit replays later");
@@ -259,9 +408,11 @@ mod tests {
         let a = m.map().data_base();
         let k1 = key(0, 0);
         let k2 = key(1, 0);
-        m.try_append_log(LogRecord::undo_redo(k1, a, 0, 5, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k1, a, 0, 5, 0xFF), 0)
+            .unwrap();
         m.try_append_log(LogRecord::commit(k1, None), 0).unwrap();
-        m.try_append_log(LogRecord::undo_redo(k2, a, 5, 9, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k2, a, 5, 9, 0xFF), 0)
+            .unwrap();
         // Crash before tx2 commits; in-place holds 9.
         let mut line = m.read_line(a.line());
         line.set_word(0, 9);
@@ -269,7 +420,11 @@ mod tests {
         let report = recover(&mut m, false);
         assert_eq!(report.redone, vec![k1]);
         assert_eq!(report.undone, vec![k2]);
-        assert_eq!(word_at(&m, a), 5, "tx2 undone back to tx1's committed value");
+        assert_eq!(
+            word_at(&m, a),
+            5,
+            "tx2 undone back to tx1's committed value"
+        );
     }
 
     #[test]
@@ -280,15 +435,20 @@ mod tests {
         let a2 = Addr::new(a0.as_u64() + 16);
         let (k1, k2, k3) = (key(0, 0), key(0, 1), key(0, 2));
         // tx1: complete (ulog 1, one post-commit redo entry present).
-        m.try_append_log(LogRecord::undo_redo(k1, a0, 0, 1, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k1, a0, 0, 1, 0xFF), 0)
+            .unwrap();
         m.try_append_log(LogRecord::commit(k1, Some(1)), 0).unwrap();
-        m.try_append_log(LogRecord::redo_only(k1, a0, 11, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::redo_only(k1, a0, 11, 0xFF), 0)
+            .unwrap();
         // tx2: claims 2 ULog words but only one redo entry made it.
-        m.try_append_log(LogRecord::undo_redo(k2, a1, 0, 2, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k2, a1, 0, 2, 0xFF), 0)
+            .unwrap();
         m.try_append_log(LogRecord::commit(k2, Some(2)), 0).unwrap();
-        m.try_append_log(LogRecord::redo_only(k2, a1, 22, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::redo_only(k2, a1, 22, 0xFF), 0)
+            .unwrap();
         // tx3: complete, but commits after tx2 -> still a loser.
-        m.try_append_log(LogRecord::undo_redo(k3, a2, 0, 3, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k3, a2, 0, 3, 0xFF), 0)
+            .unwrap();
         m.try_append_log(LogRecord::commit(k3, Some(0)), 0).unwrap();
         let report = recover(&mut m, true);
         assert_eq!(report.redone, vec![k1]);
@@ -303,7 +463,8 @@ mod tests {
         let mut m = mc();
         let a = m.map().data_base();
         let k = key(0, 0);
-        m.try_append_log(LogRecord::undo_redo(k, a, 0, 1, 0xFF), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k, a, 0, 1, 0xFF), 0)
+            .unwrap();
         m.try_append_log(LogRecord::commit(k, Some(99)), 0).unwrap();
         let report = recover(&mut m, false);
         assert_eq!(report.redone, vec![k]);
@@ -319,6 +480,174 @@ mod tests {
 }
 
 #[cfg(test)]
+mod damage_tests {
+    use super::*;
+    use morlog_encoding::cell::CellModel;
+    use morlog_encoding::slde::SldeCodec;
+    use morlog_nvm::log::LogRecord;
+    use morlog_sim_core::fault::FaultPlan;
+    use morlog_sim_core::{Frequency, MemConfig, ThreadId, TxId};
+
+    fn mc() -> MemoryController {
+        MemoryController::with_default_map(
+            MemConfig::default(),
+            Frequency::ghz(3.0),
+            SldeCodec::new(CellModel::table_iii()),
+        )
+    }
+
+    fn key(t: u8, x: u16) -> TxKey {
+        TxKey::new(ThreadId::new(t), TxId::new(x))
+    }
+
+    fn word_at(mc: &MemoryController, addr: Addr) -> u64 {
+        mc.read_line(addr.line()).word(addr.word_index())
+    }
+
+    /// A crash tears the only undo+redo slot of an uncommitted transaction
+    /// whose in-place write was gated: the word keeps its pre-tx value and
+    /// the record is reported torn, not replayed.
+    #[test]
+    fn torn_undo_anchor_is_skipped_not_applied() {
+        let mut m = mc();
+        let mut plan = FaultPlan::none();
+        plan.torn_drain_per_mille = 1000;
+        plan.fault_budget = Some(1);
+        m.set_fault_plan(plan);
+        let a = m.map().data_base();
+        let k = key(0, 0);
+        // Pre-tx value 7 in place; the undo slot never finishes draining.
+        let mut line = m.read_line(a.line());
+        line.set_word(0, 7);
+        m.write_line_functional(a.line(), line);
+        m.try_append_log(LogRecord::undo_redo(k, a, 7, 42, 0xFF), 0)
+            .unwrap();
+        m.crash_persist();
+        let report = recover(&mut m, false);
+        assert_eq!(report.torn_records, 1);
+        assert_eq!(
+            report.undone,
+            vec![k],
+            "the damaged tx is still rolled back"
+        );
+        assert_eq!(word_at(&m, a), 7, "skipped word keeps the pre-tx value");
+    }
+
+    /// A corrupt (bit-flipped) record demotes every later record of its
+    /// thread: a commit behind the damage is dropped and its transaction
+    /// rolls back via the earlier, valid undo anchor.
+    #[test]
+    fn damage_cuts_off_later_commits_of_the_thread() {
+        let mut m = mc();
+        let a0 = m.map().data_base();
+        let a1 = Addr::new(a0.as_u64() + 8);
+        let k = key(0, 0);
+        let first = m
+            .try_append_log(LogRecord::undo_redo(k, a0, 5, 50, 0xFF), 0)
+            .unwrap();
+        let second = m
+            .try_append_log(LogRecord::undo_redo(k, a1, 6, 60, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(k, None), 0).unwrap();
+        assert!(first.offset < second.offset);
+        // In-place state: a0 already carries the tx's value; a1 stayed at
+        // its pre-tx value because the write-ahead gate holds a line back
+        // while its undo slot is in flight (the slot about to be damaged).
+        let mut line = m.read_line(a0.line());
+        line.set_word(a0.word_index(), 50);
+        m.write_line_functional(a0.line(), line);
+        let mut line = m.read_line(a1.line());
+        line.set_word(a1.word_index(), 6);
+        m.write_line_functional(a1.line(), line);
+        // Flip a redo bit in the second slot behind the sealed CRC's back
+        // (stands in for an escaped crash-time drift flip).
+        assert!(m.corrupt_log_record(0, second.offset, |r| {
+            let w = r.data_word(1);
+            r.set_data_word(1, w ^ (1 << 17));
+        }));
+        let report = recover(&mut m, false);
+        assert_eq!(report.corrupt_records, 1);
+        assert_eq!(
+            report.dropped_records, 1,
+            "the commit behind the damage is dropped"
+        );
+        assert!(report.redone.is_empty());
+        assert_eq!(report.undone, vec![k]);
+        assert_eq!(word_at(&m, a0), 5, "valid anchor rolled back");
+        assert_eq!(word_at(&m, a1), 6, "damaged anchor skipped (still pre-tx)");
+    }
+
+    /// Damage in one thread's slice must not disturb another thread's
+    /// committed transaction.
+    #[test]
+    fn damage_is_confined_to_its_thread() {
+        let mut m = mc();
+        let a0 = m.map().data_base();
+        let a1 = Addr::new(a0.as_u64() + 8);
+        let (k0, k1) = (key(0, 0), key(1, 0));
+        m.try_append_log(LogRecord::undo_redo(k0, a0, 0, 5, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(k0, None), 0).unwrap();
+        let victim = m
+            .try_append_log(LogRecord::undo_redo(k1, a1, 0, 9, 0xFF), 0)
+            .unwrap();
+        assert!(m.corrupt_log_record(0, victim.offset, |r| {
+            let w = r.data_word(0);
+            r.set_data_word(0, w ^ 1);
+        }));
+        let report = recover(&mut m, false);
+        assert_eq!(report.redone, vec![k0], "thread 0's commit survives");
+        assert_eq!(report.undone, vec![k1]);
+        assert_eq!(report.corrupt_records, 1);
+        assert_eq!(word_at(&m, a0), 5);
+    }
+
+    /// Under delay-persistence a damaged post-commit redo entry fails the
+    /// ulog check and demotes the committed transaction to a loser.
+    #[test]
+    fn dp_damaged_post_commit_redo_demotes_the_commit() {
+        let mut m = mc();
+        let a = m.map().data_base();
+        let k = key(0, 0);
+        m.try_append_log(LogRecord::undo_redo(k, a, 3, 30, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(k, Some(1)), 0).unwrap();
+        let redo = m
+            .try_append_log(LogRecord::redo_only(k, a, 31, 0xFF), 0)
+            .unwrap();
+        assert!(m.corrupt_log_record(0, redo.offset, |r| {
+            let w = r.data_word(0);
+            r.set_data_word(0, w ^ 2);
+        }));
+        let report = recover(&mut m, true);
+        assert!(report.redone.is_empty());
+        assert_eq!(report.undone, vec![k]);
+        assert_eq!(report.corrupt_records, 1);
+        assert_eq!(word_at(&m, a), 3, "rolled back to the pre-tx value");
+    }
+
+    /// Double recovery stays idempotent with damage: the first pass clears
+    /// the ring (and the torn-word map), so the second scans nothing.
+    #[test]
+    fn recovery_after_damage_is_idempotent() {
+        let mut m = mc();
+        let mut plan = FaultPlan::none();
+        plan.torn_drain_per_mille = 1000;
+        plan.fault_budget = Some(4);
+        m.set_fault_plan(plan);
+        let a = m.map().data_base();
+        m.try_append_log(LogRecord::undo_redo(key(0, 0), a, 0, 1, 0xFF), 0)
+            .unwrap();
+        m.crash_persist();
+        let first = recover(&mut m, false);
+        assert!(first.saw_damage());
+        let second = recover(&mut m, false);
+        assert_eq!(second.records_scanned, 0);
+        assert!(!second.saw_damage());
+    }
+}
+
+#[cfg(test)]
 mod distributed_tests {
     use super::*;
     use morlog_encoding::cell::CellModel;
@@ -327,8 +656,10 @@ mod distributed_tests {
     use morlog_sim_core::{Addr, Frequency, MemConfig, ThreadId, TxId};
 
     fn mc_sliced(slices: usize) -> MemoryController {
-        let mut cfg = MemConfig::default();
-        cfg.log_slices = slices;
+        let cfg = MemConfig {
+            log_slices: slices,
+            ..Default::default()
+        };
         MemoryController::with_default_map(
             cfg,
             Frequency::ghz(3.0),
@@ -349,7 +680,8 @@ mod distributed_tests {
         let mut m = mc_sliced(4);
         let a = m.map().data_base();
         for t in 0..4u8 {
-            m.try_append_log(LogRecord::undo_redo(key(t, 0), a, 0, t as u64, 0xFF), 0).unwrap();
+            m.try_append_log(LogRecord::undo_redo(key(t, 0), a, 0, t as u64, 0xFF), 0)
+                .unwrap();
         }
         for slice in 0..4 {
             assert_eq!(m.log_regions()[slice].records().count(), 1, "slice {slice}");
@@ -366,10 +698,14 @@ mod distributed_tests {
         let (k0, k1) = (key(0, 0), key(1, 0));
         // Thread 1 commits FIRST (timestamp 1) but its records land in
         // slice 1; thread 0 commits second with an incomplete redo set.
-        m.try_append_log(LogRecord::undo_redo(k1, a1, 0, 11, 0xFF), 0).unwrap();
-        m.try_append_log(LogRecord::commit(k1, Some(0)).with_timestamp(1), 0).unwrap();
-        m.try_append_log(LogRecord::undo_redo(k0, a0, 0, 7, 0xFF), 0).unwrap();
-        m.try_append_log(LogRecord::commit(k0, Some(3)).with_timestamp(2), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k1, a1, 0, 11, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(k1, Some(0)).with_timestamp(1), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::undo_redo(k0, a0, 0, 7, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(k0, Some(3)).with_timestamp(2), 0)
+            .unwrap();
         let report = recover(&mut m, true);
         // k1 (ts 1) persisted; k0 (ts 2) fails its ulog check and rolls back.
         assert_eq!(report.redone, vec![k1]);
@@ -386,15 +722,23 @@ mod distributed_tests {
         let (k0, k1) = (key(0, 0), key(1, 0));
         // Thread 0 commits first but NON-persisted; thread 1 commits later
         // and is complete — the cutoff must still roll thread 1 back.
-        m.try_append_log(LogRecord::undo_redo(k0, a0, 0, 7, 0xFF), 0).unwrap();
-        m.try_append_log(LogRecord::commit(k0, Some(5)).with_timestamp(1), 0).unwrap();
-        m.try_append_log(LogRecord::undo_redo(k1, a1, 0, 11, 0xFF), 0).unwrap();
-        m.try_append_log(LogRecord::commit(k1, Some(0)).with_timestamp(2), 0).unwrap();
+        m.try_append_log(LogRecord::undo_redo(k0, a0, 0, 7, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(k0, Some(5)).with_timestamp(1), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::undo_redo(k1, a1, 0, 11, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(k1, Some(0)).with_timestamp(2), 0)
+            .unwrap();
         let report = recover(&mut m, true);
         assert!(report.redone.is_empty());
         assert_eq!(report.undone, vec![k0, k1]);
         assert_eq!(word_at(&m, a0), 0);
-        assert_eq!(word_at(&m, a1), 0, "later commit rolled back despite being complete");
+        assert_eq!(
+            word_at(&m, a1),
+            0,
+            "later commit rolled back despite being complete"
+        );
     }
 
     #[test]
@@ -402,7 +746,8 @@ mod distributed_tests {
         let mut m = mc_sliced(3);
         let a = m.map().data_base();
         for t in 0..3u8 {
-            m.try_append_log(LogRecord::undo_redo(key(t, 0), a, 0, 1, 0xFF), 0).unwrap();
+            m.try_append_log(LogRecord::undo_redo(key(t, 0), a, 0, 1, 0xFF), 0)
+                .unwrap();
         }
         recover(&mut m, false);
         for r in m.log_regions() {

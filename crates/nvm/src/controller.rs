@@ -15,11 +15,13 @@
 use std::collections::{HashMap, VecDeque};
 
 use morlog_encoding::slde::{EncodingChoice, SldeCodec};
+use morlog_sim_core::fault::FaultPlan;
+use morlog_sim_core::ids::TxKey;
 use morlog_sim_core::stats::MemStats;
 use morlog_sim_core::{Addr, Cycle, Frequency, LineAddr, LineData, MemConfig};
 
 use crate::layout::{line_to_channel_bank, MemoryMap, Region};
-use crate::log::{LogFullError, LogRecord, LogRegion, StoredRecord};
+use crate::log::{LogFullError, LogRecord, LogRecordKind, LogRegion, StoredRecord};
 use crate::module::NvmmModule;
 
 /// Identifies an outstanding read.
@@ -53,6 +55,51 @@ pub enum LogAppendError {
 struct PendingWrite {
     bank: usize,
     service_cycles: Cycle,
+    /// Global acceptance order — the deterministic fault-injection site.
+    accept_seq: u64,
+    payload: WritePayload,
+}
+
+/// What an in-flight write carries, for the fault model. Tracked only while
+/// a fault plan is active; plain timing runs queue [`WritePayload::Untracked`]
+/// entries and behave exactly as before.
+#[derive(Debug, Clone)]
+enum WritePayload {
+    /// No fault plan: the queue entry models timing only.
+    Untracked,
+    /// An in-place data-line write (drain-verified, never torn: a data line
+    /// is one atomic row program under the ADR flush circuitry).
+    Data { data: LineData },
+    /// A log-slot write: the slot's words, for drain-verify read-back and
+    /// crash-time damage rolls.
+    Log {
+        slice: usize,
+        offset: u64,
+        key: TxKey,
+        /// Home line of the logged word (write-ahead gating).
+        data_line: LineAddr,
+        /// Whether the slot carries undo data the home line depends on.
+        is_undo: bool,
+        data_words: usize,
+        slot_key: u64,
+        /// Slot words in program order: `[meta0, meta1, timestamp, data...]`.
+        words: [u64; 5],
+        nwords: u8,
+    },
+}
+
+/// One live log slot as seen by the recovery scan: its stored form plus how
+/// many of its data words actually persisted (fewer than
+/// `record.kind.data_words()` when a crash tore the slot's drain).
+#[derive(Debug, Clone, Copy)]
+pub struct ScannedRecord {
+    /// Which log slice holds the slot.
+    pub slice: usize,
+    /// The stored record (contents as the array now holds them — possibly
+    /// bit-flipped or prefix-truncated by an injected fault).
+    pub stored: StoredRecord,
+    /// Data words that persisted before the crash cut the drain short.
+    pub words_persisted: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -133,14 +180,25 @@ pub struct MemoryController {
     stats: MemStats,
     high_mark: usize,
     low_mark: usize,
+    /// Fault-injection plan (inactive by default).
+    fault_plan: FaultPlan,
+    /// Monotonic write-acceptance counter: the fault site of each write.
+    accept_seq: u64,
+    /// Lifetime program count per log slot (keyed by slot_key), for the
+    /// stuck-at wear-out model. Reset when a slot is remapped to a spare.
+    wear: HashMap<u64, u32>,
+    /// Slots a crash-time tear truncated: `(slice, offset) -> data words
+    /// persisted`. The recovery scan reads this through [`scan_log`].
+    ///
+    /// [`scan_log`]: MemoryController::scan_log
+    torn_words: HashMap<(usize, u64), usize>,
 }
 
 impl MemoryController {
     /// Builds the controller, devices and log ring for the given map.
     pub fn new(cfg: MemConfig, freq: Frequency, map: MemoryMap, codec: SldeCodec) -> Self {
         let banks = cfg.banks * cfg.ranks;
-        let high_mark =
-            ((cfg.write_queue_entries as f64) * cfg.drain_watermark).ceil() as usize;
+        let high_mark = ((cfg.write_queue_entries as f64) * cfg.drain_watermark).ceil() as usize;
         let low_mark = ((cfg.write_queue_entries as f64) * cfg.drain_low_mark).floor() as usize;
         let slices = cfg.log_slices.max(1) as u64;
         let slice_bytes = (map.log_bytes() / slices).next_multiple_of(64).max(64);
@@ -162,10 +220,31 @@ impl MemoryController {
             stats: MemStats::default(),
             high_mark,
             low_mark,
+            fault_plan: FaultPlan::none(),
+            accept_seq: 0,
+            wear: HashMap::new(),
+            torn_words: HashMap::new(),
             cfg,
             freq,
             map,
         }
+    }
+
+    /// Installs a fault-injection plan (see [`FaultPlan`]). With the default
+    /// [`FaultPlan::none`] the controller's behavior is bit-identical to the
+    /// fault-free model.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// The fault plan in effect.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Whether an active fault plan is installed.
+    pub fn fault_active(&self) -> bool {
+        self.fault_plan.is_active()
     }
 
     /// The address map in effect.
@@ -238,9 +317,10 @@ impl MemoryController {
         self.next_ticket += 1;
         match self.map.region(line.base()) {
             Region::Dram => {
-                let done = now + self.freq.ns_to_cycles(
-                    morlog_sim_core::NanoSeconds::new(self.cfg.dram_latency_ns),
-                );
+                let done = now
+                    + self
+                        .freq
+                        .ns_to_cycles(morlog_sim_core::NanoSeconds::new(self.cfg.dram_latency_ns));
                 self.done_reads.insert(ticket, done);
             }
             Region::NvmmLog | Region::NvmmData => {
@@ -249,7 +329,11 @@ impl MemoryController {
                 if self.channels[ch].draining {
                     self.stats.reads_blocked_by_drain += 1;
                 }
-                self.channels[ch].read_q.push_back(PendingRead { ticket, bank, enqueued: now });
+                self.channels[ch].read_q.push_back(PendingRead {
+                    ticket,
+                    bank,
+                    enqueued: now,
+                });
             }
         }
         ticket
@@ -279,10 +363,29 @@ impl MemoryController {
                 if self.channels[ch].write_q.len() >= self.cfg.write_queue_entries {
                     return false;
                 }
+                // Write-ahead enforcement under fault injection: while an
+                // undo-carrying slot for this line is still in some write
+                // queue, a crash could tear it — so the in-place write the
+                // undo protects must not become durable first. The caller
+                // retries, exactly as for a full queue.
+                if self.fault_plan.is_active() && self.line_has_undrained_undo(line) {
+                    return false;
+                }
                 let serviced = self.module.write_data_line(line, data);
                 self.account_write(&serviced.cost, false, &serviced.choices);
                 let service_cycles = self.write_service_cycles(&serviced.cost);
-                self.channels[ch].write_q.push_back(PendingWrite { bank, service_cycles });
+                let payload = if self.fault_plan.is_active() {
+                    WritePayload::Data { data }
+                } else {
+                    WritePayload::Untracked
+                };
+                let accept_seq = self.bump_accept_seq();
+                self.channels[ch].write_q.push_back(PendingWrite {
+                    bank,
+                    service_cycles,
+                    accept_seq,
+                    payload,
+                });
                 true
             }
         }
@@ -328,7 +431,9 @@ impl MemoryController {
                 let extra = self.logs[slice].capacity().max(4096);
                 self.logs[slice].grow(extra);
                 self.stats.log_overflow_growths += 1;
-                self.logs[slice].append(record).map_err(LogAppendError::RingFull)?
+                self.logs[slice]
+                    .append(record)
+                    .map_err(LogAppendError::RingFull)?
             }
         };
         let physical = stored.offset % self.logs[slice].capacity();
@@ -337,8 +442,152 @@ impl MemoryController {
         let serviced = self.module.write_log_record(&stored, slot_key);
         self.account_write(&serviced.cost, true, &serviced.choices);
         let service_cycles = self.write_service_cycles(&serviced.cost);
-        self.channels[ch].write_q.push_back(PendingWrite { bank, service_cycles });
+        let payload = if self.fault_plan.is_active() {
+            let pw = stored.record.payload_words();
+            let mut words = [0u64; 5];
+            words[..pw.len()].copy_from_slice(&pw);
+            WritePayload::Log {
+                slice,
+                offset: stored.offset,
+                key: stored.record.key,
+                data_line: stored.record.addr.line(),
+                is_undo: stored.record.kind == LogRecordKind::UndoRedo,
+                data_words: stored.record.kind.data_words(),
+                slot_key,
+                words,
+                nwords: pw.len() as u8,
+            }
+        } else {
+            WritePayload::Untracked
+        };
+        let accept_seq = self.bump_accept_seq();
+        self.channels[ch].write_q.push_back(PendingWrite {
+            bank,
+            service_cycles,
+            accept_seq,
+            payload,
+        });
         Ok(stored)
+    }
+
+    fn bump_accept_seq(&mut self) -> u64 {
+        let seq = self.accept_seq;
+        self.accept_seq += 1;
+        seq
+    }
+
+    /// Whether any accepted-but-undrained undo-carrying log write covers
+    /// `line` (see the gate in [`try_write_data`]).
+    ///
+    /// [`try_write_data`]: MemoryController::try_write_data
+    fn line_has_undrained_undo(&self, line: LineAddr) -> bool {
+        self.channels
+            .iter()
+            .flat_map(|c| c.write_q.iter())
+            .any(|w| {
+                matches!(
+                    &w.payload,
+                    WritePayload::Log { is_undo: true, data_line, .. } if *data_line == line
+                )
+            })
+    }
+
+    /// Whether any of `key`'s log records sit accepted-but-undrained in a
+    /// write queue. Under an active fault plan the logging controller holds
+    /// a synchronous commit's completion on this — otherwise a crash could
+    /// tear a record of a transaction the program already saw commit.
+    pub fn tx_has_undrained_records(&self, key: TxKey) -> bool {
+        self.channels
+            .iter()
+            .flat_map(|c| c.write_q.iter())
+            .any(|w| matches!(&w.payload, WritePayload::Log { key: k, .. } if *k == key))
+    }
+
+    /// Simulates the ADR flush at power loss. Every accepted write reaches
+    /// the array, but an active fault plan may damage in-flight *log*
+    /// slots: a torn drain persists only a prefix of a slot's data words
+    /// (the truncated words read back erased), and escaped resistance
+    /// drift flips a bit in a data word. Slot metadata headers and data
+    /// lines are single atomic row programs and always land whole. With an
+    /// inactive plan this only empties the queues — writes were applied
+    /// functionally at acceptance.
+    pub fn crash_persist(&mut self) {
+        let mut inflight = Vec::new();
+        for ch in &mut self.channels {
+            inflight.extend(ch.write_q.drain(..));
+            ch.draining = false;
+        }
+        if !self.fault_plan.is_active() {
+            return;
+        }
+        for w in inflight {
+            let WritePayload::Log {
+                slice,
+                offset,
+                data_words,
+                words,
+                ..
+            } = w.payload
+            else {
+                continue;
+            };
+            if data_words == 0 {
+                continue;
+            }
+            if let Some(k) = self.fault_plan.torn_prefix(w.accept_seq, data_words) {
+                self.torn_words.insert((slice, offset), k);
+                self.logs[slice].corrupt_record_at(offset, |r| {
+                    for i in k..data_words {
+                        r.set_data_word(i, 0);
+                    }
+                });
+                self.stats.faults_torn_drains += 1;
+                continue;
+            }
+            for i in 0..data_words {
+                let j = 3 + i; // data words follow [meta0, meta1, timestamp]
+                let site = w.accept_seq * 16 + j as u64;
+                if let Some(flipped) = self.fault_plan.crash_flip_word(site, words[j]) {
+                    self.logs[slice].corrupt_record_at(offset, |r| r.set_data_word(i, flipped));
+                    self.stats.faults_bit_flips += 1;
+                }
+            }
+        }
+    }
+
+    /// Mutates a stored log record in place — array-level fault injection
+    /// for tests and tooling. The sealed CRC is left stale, so recovery's
+    /// integrity check sees whatever the mutator changed. Returns `false`
+    /// when no live record sits at `offset` in `slice`.
+    pub fn corrupt_log_record(
+        &mut self,
+        slice: usize,
+        offset: u64,
+        f: impl FnOnce(&mut LogRecord),
+    ) -> bool {
+        self.logs[slice].corrupt_record_at(offset, f)
+    }
+
+    /// The recovery scan: every live record of every slice, oldest first
+    /// within a slice, annotated with how many data words survived the
+    /// crash (see [`ScannedRecord`]).
+    pub fn scan_log(&self) -> Vec<ScannedRecord> {
+        let mut out = Vec::new();
+        for (slice, log) in self.logs.iter().enumerate() {
+            for stored in log.records() {
+                let words_persisted = self
+                    .torn_words
+                    .get(&(slice, stored.offset))
+                    .copied()
+                    .unwrap_or_else(|| stored.record.kind.data_words());
+                out.push(ScannedRecord {
+                    slice,
+                    stored: *stored,
+                    words_persisted,
+                });
+            }
+        }
+        out
     }
 
     /// Truncates log slice 0 up to `offset` (exclusive); see
@@ -360,6 +609,7 @@ impl MemoryController {
         for log in &mut self.logs {
             log.clear();
         }
+        self.torn_words.clear();
     }
 
     /// Whether any channel's write queue is at or above the drain watermark.
@@ -388,8 +638,11 @@ impl MemoryController {
         let read_cycles = self
             .freq
             .ns_to_cycles(morlog_sim_core::NanoSeconds::new(self.cfg.read_latency_ns));
-        let pause_cycles =
-            self.freq.ns_to_cycles(morlog_sim_core::NanoSeconds::new(WRITE_PAUSE_NS));
+        let pause_cycles = self
+            .freq
+            .ns_to_cycles(morlog_sim_core::NanoSeconds::new(WRITE_PAUSE_NS));
+        let fault_active = self.fault_plan.is_active();
+        let mut issued_writes: Vec<PendingWrite> = Vec::new();
         for ch in &mut self.channels {
             // WQF drain hysteresis.
             if !ch.draining && ch.write_q.len() >= self.high_mark {
@@ -404,10 +657,12 @@ impl MemoryController {
             loop {
                 let mut issued = false;
                 {
-                    if let Some(pos) =
-                        ch.read_q.iter().position(|r| ch.read_busy_until[r.bank] <= now)
-                    {
-                        let r = ch.read_q.remove(pos).expect("position valid");
+                    let ready = ch
+                        .read_q
+                        .iter()
+                        .position(|r| ch.read_busy_until[r.bank] <= now)
+                        .and_then(|pos| ch.read_q.remove(pos));
+                    if let Some(r) = ready {
                         let done = now + read_cycles;
                         ch.read_busy_until[r.bank] = done;
                         if ch.write_busy_until[r.bank] > now {
@@ -420,16 +675,84 @@ impl MemoryController {
                     }
                 }
                 if ch.draining || ch.read_q.is_empty() {
-                    if let Some(pos) = ch.write_q.iter().position(|w| {
-                        ch.write_busy_until[w.bank] <= now && ch.read_busy_until[w.bank] <= now
-                    }) {
-                        let w = ch.write_q.remove(pos).expect("position valid");
+                    let ready = ch
+                        .write_q
+                        .iter()
+                        .position(|w| {
+                            ch.write_busy_until[w.bank] <= now && ch.read_busy_until[w.bank] <= now
+                        })
+                        .and_then(|pos| ch.write_q.remove(pos));
+                    if let Some(w) = ready {
                         ch.write_busy_until[w.bank] = now + w.service_cycles;
+                        if fault_active {
+                            issued_writes.push(w);
+                        }
                         issued = true;
                     }
                 }
                 if !issued {
                     break;
+                }
+            }
+        }
+        for w in issued_writes {
+            self.verify_issued_write(&w);
+        }
+    }
+
+    /// The write-verify pass run as each write drains to its bank: read the
+    /// words back, compare, and re-program on mismatch. Transient program
+    /// disturb (a drain-time drift flip) is repaired by one retry; a worn
+    /// slot whose cells stick fails every retry and is remapped to a spare,
+    /// resetting its endurance counter. Verified writes therefore never
+    /// leave damage behind — only *crash-time* faults on in-flight writes
+    /// escape to recovery.
+    fn verify_issued_write(&mut self, w: &PendingWrite) {
+        match &w.payload {
+            WritePayload::Untracked => {}
+            WritePayload::Data { data } => {
+                for i in 0..morlog_sim_core::WORDS_PER_LINE {
+                    let site = w.accept_seq * 16 + i as u64;
+                    if self
+                        .fault_plan
+                        .drain_flip_word(site, data.word(i))
+                        .is_some()
+                    {
+                        self.stats.write_verify_failures += 1;
+                        self.stats.write_verify_retries += 1;
+                    }
+                }
+            }
+            WritePayload::Log {
+                slot_key,
+                words,
+                nwords,
+                ..
+            } => {
+                let wear = {
+                    let w = self.wear.entry(*slot_key).or_insert(0);
+                    *w += 1;
+                    *w
+                };
+                let stuck = self.fault_plan.slot_is_stuck(wear);
+                let mut flipped = false;
+                if !stuck {
+                    for (i, &word) in words.iter().take(*nwords as usize).enumerate() {
+                        let site = w.accept_seq * 16 + i as u64;
+                        if self.fault_plan.drain_flip_word(site, word).is_some() {
+                            flipped = true;
+                            break;
+                        }
+                    }
+                }
+                if stuck {
+                    self.stats.write_verify_failures += 1;
+                    self.stats.write_verify_retries += self.cfg.write_retry_budget as u64;
+                    self.stats.stuck_slots_remapped += 1;
+                    self.wear.insert(*slot_key, 0);
+                } else if flipped {
+                    self.stats.write_verify_failures += 1;
+                    self.stats.write_verify_retries += 1;
                 }
             }
         }
@@ -569,8 +892,11 @@ mod tests {
     fn log_ring_full_surfaces_error() {
         // A filled slice grows a temporary overflow region (§III-A option 2)
         // instead of erroring; the growth is counted.
-        let mut cfg = MemConfig::default();
-        cfg.log_region_bytes = 64; // two undo+redo slots
+        // 64 log-region bytes = two undo+redo slots.
+        let cfg = MemConfig {
+            log_region_bytes: 64,
+            ..Default::default()
+        };
         let map = MemoryMap::new(1 << 20, 1 << 21, 64);
         let mut m = MemoryController::new(
             cfg,
@@ -582,14 +908,16 @@ mod tests {
         for _ in 0..8 {
             m.try_append_log(rec, 0).unwrap();
         }
-        assert!(m.stats().log_overflow_growths >= 1, "slice grew under pressure");
+        assert!(
+            m.stats().log_overflow_growths >= 1,
+            "slice grew under pressure"
+        );
         assert_eq!(m.log_region().records().count(), 8);
         // Truncation still works over the grown region.
         let head_target = m.log_region().records().nth(2).unwrap().offset;
         m.truncate_log(head_target);
         assert_eq!(m.log_region().records().count(), 6);
     }
-
 
     #[test]
     fn drain_blocks_reads_until_low_mark() {
@@ -615,7 +943,10 @@ mod tests {
             }
         }
         let done_at = done_at.expect("read must complete");
-        assert!(done_at > 75, "read was delayed behind the drain, done at {done_at}");
+        assert!(
+            done_at > 75,
+            "read was delayed behind the drain, done at {done_at}"
+        );
     }
 
     #[test]
@@ -628,5 +959,140 @@ mod tests {
         assert!(m.try_write_data(line, d, 0)); // identical: silent
         assert_eq!(m.stats().silent_block_writes, 1);
         assert_eq!(m.stats().nvmm_writes, 2);
+    }
+
+    /// An always-active plan that injects nothing (huge endurance limit):
+    /// turns the fault-mode bookkeeping on without damaging anything.
+    fn inert_active_plan() -> FaultPlan {
+        FaultPlan::worn_slots(0, u32::MAX)
+    }
+
+    #[test]
+    fn fault_mode_gates_data_writes_behind_inflight_undo() {
+        let mut m = mc();
+        m.set_fault_plan(inert_active_plan());
+        let line = LineAddr::from_index(m.map().data_base().line().index() + 8);
+        let rec = LogRecord::undo_redo(key(), line.base(), 1, 2, 0xFF);
+        m.try_append_log(rec, 0).unwrap();
+        let mut d = LineData::zeroed();
+        d.set_word(0, 2);
+        assert!(
+            !m.try_write_data(line, d, 0),
+            "home-line write must wait for the in-flight undo slot"
+        );
+        // Another line is unaffected.
+        assert!(m.try_write_data(LineAddr::from_index(line.index() + 16), d, 0));
+        // Once the undo slot drains, the write goes through.
+        for now in 0..200_000 {
+            m.tick(now);
+        }
+        assert!(!m.tx_has_undrained_records(key()));
+        assert!(m.try_write_data(line, d, 200_000));
+    }
+
+    #[test]
+    fn crash_persist_tears_only_data_words_of_inflight_slots() {
+        let mut m = mc();
+        let mut plan = FaultPlan::none();
+        plan.torn_drain_per_mille = 1000; // every in-flight slot tears
+        plan.fault_budget = Some(1);
+        m.set_fault_plan(plan);
+        let rec = LogRecord::undo_redo(key(), Addr::new(0x40), 0xAA, 0xBB, 0xFF);
+        let stored = m.try_append_log(rec, 0).unwrap();
+        let commit = m.try_append_log(LogRecord::commit(key(), None), 0).unwrap();
+        m.crash_persist();
+        assert_eq!(m.stats().faults_torn_drains, 1);
+        let scan = m.scan_log();
+        let torn = scan
+            .iter()
+            .find(|s| s.stored.offset == stored.offset)
+            .unwrap();
+        assert!(torn.words_persisted < 2, "a tear keeps a strict prefix");
+        assert!(
+            !torn.stored.record.crc_ok(torn.stored.torn),
+            "truncated words break the CRC"
+        );
+        let c = scan
+            .iter()
+            .find(|s| s.stored.offset == commit.offset)
+            .unwrap();
+        assert_eq!(
+            c.words_persisted, 0,
+            "commit slots have no data words to tear"
+        );
+        assert!(
+            c.stored.record.crc_ok(c.stored.torn),
+            "meta-only slots land atomically"
+        );
+    }
+
+    #[test]
+    fn crash_persist_flips_break_the_crc() {
+        let mut m = mc();
+        let mut plan = FaultPlan::none();
+        plan.crash_flip_per_mille = 1000;
+        plan.fault_budget = Some(1);
+        m.set_fault_plan(plan);
+        let rec = LogRecord::undo_redo(key(), Addr::new(0x40), 0xAA, 0xBB, 0xFF);
+        m.try_append_log(rec, 0).unwrap();
+        m.crash_persist();
+        assert_eq!(m.stats().faults_bit_flips, 1);
+        let scan = m.scan_log();
+        assert_eq!(scan[0].words_persisted, 2, "a flip is not a tear");
+        assert!(!scan[0].stored.record.crc_ok(scan[0].stored.torn));
+    }
+
+    #[test]
+    fn crash_persist_without_plan_changes_nothing() {
+        let mut m = mc();
+        let rec = LogRecord::undo_redo(key(), Addr::new(0x40), 0xAA, 0xBB, 0xFF);
+        m.try_append_log(rec, 0).unwrap();
+        m.crash_persist();
+        assert_eq!(m.stats().faults_torn_drains, 0);
+        let scan = m.scan_log();
+        assert_eq!(scan[0].words_persisted, 2);
+        assert!(scan[0].stored.record.crc_ok(scan[0].stored.torn));
+        assert_eq!(
+            m.write_queue_occupancy(),
+            0,
+            "queues are emptied by the ADR flush"
+        );
+    }
+
+    #[test]
+    fn drain_flip_is_caught_and_repaired_by_write_verify() {
+        let mut m = mc();
+        let mut plan = FaultPlan::none();
+        plan.drain_flip_per_mille = 1000;
+        plan.fault_budget = Some(1);
+        m.set_fault_plan(plan);
+        let rec = LogRecord::undo_redo(key(), Addr::new(0x40), 0xAA, 0xBB, 0xFF);
+        let stored = m.try_append_log(rec, 0).unwrap();
+        for now in 0..200_000 {
+            m.tick(now);
+        }
+        assert_eq!(m.stats().write_verify_failures, 1);
+        assert_eq!(m.stats().write_verify_retries, 1);
+        assert_eq!(m.stats().stuck_slots_remapped, 0);
+        // The repaired slot is undamaged.
+        assert!(stored.record.crc_ok(stored.torn));
+        assert_eq!(m.scan_log()[0].words_persisted, 2);
+    }
+
+    #[test]
+    fn worn_slot_burns_the_retry_budget_and_remaps() {
+        let mut m = mc();
+        m.set_fault_plan(FaultPlan::worn_slots(0, 1)); // every program sticks
+        let rec = LogRecord::undo_redo(key(), Addr::new(0x40), 0xAA, 0xBB, 0xFF);
+        m.try_append_log(rec, 0).unwrap();
+        for now in 0..200_000 {
+            m.tick(now);
+        }
+        assert_eq!(m.stats().write_verify_failures, 1);
+        assert_eq!(
+            m.stats().write_verify_retries,
+            MemConfig::default().write_retry_budget as u64
+        );
+        assert_eq!(m.stats().stuck_slots_remapped, 1);
     }
 }

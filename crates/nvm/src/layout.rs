@@ -57,10 +57,18 @@ impl MemoryMap {
     /// Panics if `log_bytes` is zero, not line-aligned, or exceeds
     /// `nvmm_bytes`, or if `dram_bytes` is not line-aligned.
     pub fn new(dram_bytes: u64, nvmm_bytes: u64, log_bytes: u64) -> Self {
-        assert!(log_bytes > 0 && log_bytes <= nvmm_bytes, "log region must fit in NVMM");
+        assert!(
+            log_bytes > 0 && log_bytes <= nvmm_bytes,
+            "log region must fit in NVMM"
+        );
         assert_eq!(log_bytes % 64, 0, "log region must be line-aligned");
         assert_eq!(dram_bytes % 64, 0, "DRAM size must be line-aligned");
-        MemoryMap { dram_bytes, nvmm_base: dram_bytes, nvmm_bytes, log_bytes }
+        MemoryMap {
+            dram_bytes,
+            nvmm_base: dram_bytes,
+            nvmm_bytes,
+            log_bytes,
+        }
     }
 
     /// Classifies an address.
@@ -175,7 +183,11 @@ mod tests {
             assert!(cb.0 < 4 && cb.1 < 8);
             seen.insert(cb);
         }
-        assert_eq!(seen.len(), 32, "32 consecutive lines span all channel×bank pairs");
+        assert_eq!(
+            seen.len(),
+            32,
+            "32 consecutive lines span all channel×bank pairs"
+        );
     }
 
     #[test]

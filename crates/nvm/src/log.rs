@@ -9,8 +9,9 @@
 
 use std::collections::VecDeque;
 
+use morlog_sim_core::fault::crc32_words;
 use morlog_sim_core::ids::TxKey;
-use morlog_sim_core::Addr;
+use morlog_sim_core::{Addr, ThreadId, TxId};
 
 /// The kind of a log record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +46,18 @@ impl LogRecordKind {
             LogRecordKind::UndoRedo => 96,
             LogRecordKind::Redo => 72,
             LogRecordKind::Commit => 48,
+        }
+    }
+
+    /// Data words following the slot's (atomically-programmed) metadata
+    /// header: `[undo, redo]`, `[redo]` or none. Only these words can be
+    /// truncated by a torn drain or hit by a crash-time bit flip; commit
+    /// records are therefore never torn.
+    pub fn data_words(self) -> usize {
+        match self {
+            LogRecordKind::UndoRedo => 2,
+            LogRecordKind::Redo => 1,
+            LogRecordKind::Commit => 0,
         }
     }
 }
@@ -82,6 +95,10 @@ pub struct LogRecord {
     /// timestamp to define the global commit order (§III-F); with the
     /// centralized log it is still stamped but the ring order suffices.
     pub timestamp: u64,
+    /// Integrity footprint: CRC-32 over the record's metadata words,
+    /// timestamp, data words and torn bit, sealed by [`LogRegion::append`].
+    /// Recovery recomputes it to classify records as valid or corrupt.
+    pub crc: u32,
 }
 
 impl LogRecord {
@@ -96,6 +113,7 @@ impl LogRecord {
             dirty_mask,
             ulog_count: None,
             timestamp: 0,
+            crc: 0,
         }
     }
 
@@ -110,6 +128,7 @@ impl LogRecord {
             dirty_mask,
             ulog_count: None,
             timestamp: 0,
+            crc: 0,
         }
     }
 
@@ -125,6 +144,7 @@ impl LogRecord {
             dirty_mask: 0,
             ulog_count,
             timestamp: 0,
+            crc: 0,
         }
     }
 
@@ -152,7 +172,126 @@ impl LogRecord {
             | (self.ulog_count.is_some() as u64) << 62;
         [w0, w1]
     }
+
+    /// Decodes the metadata words produced by [`meta_words`], validating
+    /// the kind field.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaDecodeError`] when the kind bits hold the reserved pattern —
+    /// the slot's header was corrupted in the array.
+    ///
+    /// [`meta_words`]: LogRecord::meta_words
+    pub fn decode_meta(meta: [u64; 2]) -> Result<DecodedMeta, MetaDecodeError> {
+        let [w0, w1] = meta;
+        let kind = match w1 & 0b11 {
+            0 => LogRecordKind::UndoRedo,
+            1 => LogRecordKind::Redo,
+            2 => LogRecordKind::Commit,
+            bits => {
+                return Err(MetaDecodeError {
+                    kind_bits: bits as u8,
+                })
+            }
+        };
+        let thread = ThreadId::new(((w1 >> 2) & 0xFF) as u8);
+        let txid = TxId::new(((w1 >> 10) & 0xFFFF) as u16);
+        Ok(DecodedMeta {
+            kind,
+            key: TxKey::new(thread, txid),
+            addr: Addr::new(w0),
+            dirty_mask: ((w1 >> 26) & 0xFF) as u8,
+            ulog_count: ((w1 >> 62) & 1 == 1).then_some(((w1 >> 34) & 0x3FF_FFFF) as u32),
+        })
+    }
+
+    /// The record's `i`-th data word (`[undo, redo]`, `[redo]` or none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.kind.data_words()`.
+    pub fn data_word(&self, i: usize) -> u64 {
+        match (self.kind, i) {
+            (LogRecordKind::UndoRedo, 0) => self.undo.unwrap_or(0),
+            (LogRecordKind::UndoRedo, 1) | (LogRecordKind::Redo, 0) => self.redo,
+            _ => panic!("{:?} has no data word {i}", self.kind),
+        }
+    }
+
+    /// Overwrites the record's `i`-th data word (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.kind.data_words()`.
+    pub fn set_data_word(&mut self, i: usize, value: u64) {
+        match (self.kind, i) {
+            (LogRecordKind::UndoRedo, 0) => self.undo = Some(value),
+            (LogRecordKind::UndoRedo, 1) | (LogRecordKind::Redo, 0) => self.redo = value,
+            _ => panic!("{:?} has no data word {i}", self.kind),
+        }
+    }
+
+    /// The words covered by the integrity footprint: metadata header,
+    /// timestamp and data words, in slot order.
+    pub fn payload_words(&self) -> Vec<u64> {
+        let [m0, m1] = self.meta_words();
+        let mut words = vec![m0, m1, self.timestamp];
+        for i in 0..self.kind.data_words() {
+            words.push(self.data_word(i));
+        }
+        words
+    }
+
+    /// The CRC-32 the record should carry when stored with `torn` as its
+    /// pass-parity bit. Binding the torn bit into the footprint keeps a
+    /// stale slot from a previous pass from masquerading as current.
+    pub fn integrity_crc(&self, torn: bool) -> u32 {
+        let mut words = self.payload_words();
+        words.push(torn as u64);
+        crc32_words(&words)
+    }
+
+    /// Seals the integrity footprint for a slot written with `torn`.
+    pub fn seal(&mut self, torn: bool) {
+        self.crc = self.integrity_crc(torn);
+    }
+
+    /// Whether the stored footprint matches the record's contents.
+    pub fn crc_ok(&self, torn: bool) -> bool {
+        self.crc == self.integrity_crc(torn)
+    }
 }
+
+/// The fields recovered from a slot's metadata header by
+/// [`LogRecord::decode_meta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedMeta {
+    /// Record kind.
+    pub kind: LogRecordKind,
+    /// Owning transaction.
+    pub key: TxKey,
+    /// Home address (48-bit truncated).
+    pub addr: Addr,
+    /// Per-byte dirty flag.
+    pub dirty_mask: u8,
+    /// The ulog counter, when the header carries one.
+    pub ulog_count: Option<u32>,
+}
+
+/// A slot's metadata header failed to decode (reserved kind bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaDecodeError {
+    /// The invalid kind field.
+    pub kind_bits: u8,
+}
+
+impl std::fmt::Display for MetaDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid log-record kind bits {:#b}", self.kind_bits)
+    }
+}
+
+impl std::error::Error for MetaDecodeError {}
 
 /// A record as stored in the ring: the payload plus its location, torn bit
 /// and append sequence number.
@@ -181,7 +320,11 @@ pub struct LogFullError {
 
 impl std::fmt::Display for LogFullError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "log region full: need {} bytes, {} free", self.needed, self.free)
+        write!(
+            f,
+            "log region full: need {} bytes, {} free",
+            self.needed, self.free
+        )
     }
 }
 
@@ -228,7 +371,14 @@ impl LogRegion {
             capacity >= LogRecordKind::UndoRedo.slot_bytes(),
             "log region of {capacity} bytes cannot hold a single entry"
         );
-        LogRegion { base, capacity, head: 0, tail: 0, next_seq: 0, records: VecDeque::new() }
+        LogRegion {
+            base,
+            capacity,
+            head: 0,
+            tail: 0,
+            next_seq: 0,
+            records: VecDeque::new(),
+        }
     }
 
     /// The region's base address.
@@ -271,27 +421,37 @@ impl LogRegion {
         (self.tail / self.capacity) % 2 == 1
     }
 
-    /// Appends a record, returning the stored form.
+    /// Appends a record, returning the stored form. The record's integrity
+    /// footprint is sealed here — the ring knows the slot's final torn bit
+    /// (after any wrap skip), and the record's contents are final at append
+    /// (the buffers coalesce *before* flushing, never in the ring).
     ///
     /// # Errors
     ///
     /// Returns [`LogFullError`] when the ring lacks space — the §III-A
     /// overflow case, which the producer handles by stalling until
     /// truncation frees space.
-    pub fn append(&mut self, record: LogRecord) -> Result<StoredRecord, LogFullError> {
+    pub fn append(&mut self, mut record: LogRecord) -> Result<StoredRecord, LogFullError> {
         let needed = record.kind.slot_bytes();
         if self.free_bytes() < needed {
-            return Err(LogFullError { needed, free: self.free_bytes() });
+            return Err(LogFullError {
+                needed,
+                free: self.free_bytes(),
+            });
         }
         // A slot never straddles the wrap point: skip the tail to the next
         // pass if the remainder of this pass is too small.
         let remain_in_pass = self.capacity - (self.tail % self.capacity);
         if remain_in_pass < needed {
             if self.free_bytes() < remain_in_pass + needed {
-                return Err(LogFullError { needed: remain_in_pass + needed, free: self.free_bytes() });
+                return Err(LogFullError {
+                    needed: remain_in_pass + needed,
+                    free: self.free_bytes(),
+                });
             }
             self.tail += remain_in_pass;
         }
+        record.seal(self.current_torn());
         let stored = StoredRecord {
             record,
             offset: self.tail,
@@ -335,7 +495,10 @@ impl LogRegion {
     ///
     /// Panics if `extra` is zero or not line-aligned.
     pub fn grow(&mut self, extra: u64) {
-        assert!(extra > 0 && extra % 64 == 0, "overflow region must be line-aligned");
+        assert!(
+            extra > 0 && extra.is_multiple_of(64),
+            "overflow region must be line-aligned"
+        );
         self.capacity += extra;
     }
 
@@ -348,6 +511,20 @@ impl LogRegion {
     /// Iterates live records from head to tail (the recovery scan order).
     pub fn records(&self) -> impl DoubleEndedIterator<Item = &StoredRecord> + '_ {
         self.records.iter()
+    }
+
+    /// Mutates the stored record at `offset` in place — fault injection on
+    /// the array contents. The sealed footprint is *not* updated, so any
+    /// change the mutator makes is visible to recovery's CRC check.
+    /// Returns `false` when no live record sits at `offset`.
+    pub fn corrupt_record_at(&mut self, offset: u64, f: impl FnOnce(&mut LogRecord)) -> bool {
+        match self.records.iter_mut().find(|r| r.offset == offset) {
+            Some(stored) => {
+                f(&mut stored.record);
+                true
+            }
+            None => false,
+        }
     }
 
     /// The NVMM byte address of a stored record's slot.
@@ -417,7 +594,10 @@ mod tests {
         assert!(first_pass.iter().all(|r| !r.torn));
         ring.truncate_to(ring.tail());
         let second = ring.append(ur(0, 1, 0)).unwrap();
-        assert!(second.torn, "second pass records carry the flipped torn bit");
+        assert!(
+            second.torn,
+            "second pass records carry the flipped torn bit"
+        );
         assert_eq!(second.offset % 128, 0, "wrapped to the physical start");
     }
 
@@ -440,7 +620,9 @@ mod tests {
     #[test]
     fn mixed_kinds_pack_by_slot_size() {
         let mut ring = LogRegion::new(Addr::new(0), 4096);
-        let a = ring.append(LogRecord::redo_only(key(0, 0), Addr::new(0x40), 7, 0xFF)).unwrap();
+        let a = ring
+            .append(LogRecord::redo_only(key(0, 0), Addr::new(0x40), 7, 0xFF))
+            .unwrap();
         let b = ring.append(LogRecord::commit(key(0, 0), Some(3))).unwrap();
         assert_eq!(a.offset, 0);
         assert_eq!(b.offset, 24);
@@ -475,5 +657,68 @@ mod tests {
     fn truncate_past_tail_panics() {
         let mut ring = LogRegion::new(Addr::new(0), 4096);
         ring.truncate_to(64);
+    }
+
+    #[test]
+    fn append_seals_a_verifiable_crc() {
+        let mut ring = LogRegion::new(Addr::new(0), 4096);
+        let stored = ring.append(ur(0, 0, 0x40)).unwrap();
+        assert_ne!(stored.record.crc, 0);
+        assert!(stored.record.crc_ok(stored.torn));
+        assert!(
+            !stored.record.crc_ok(!stored.torn),
+            "torn bit is bound into the footprint"
+        );
+        // The commit record's meta-only payload seals too.
+        let c = ring
+            .append(LogRecord::commit(key(0, 0), Some(3)).with_timestamp(9))
+            .unwrap();
+        assert!(c.record.crc_ok(c.torn));
+    }
+
+    #[test]
+    fn corruption_breaks_the_crc() {
+        let mut ring = LogRegion::new(Addr::new(0), 4096);
+        let stored = ring.append(ur(0, 0, 0x40)).unwrap();
+        assert!(ring.corrupt_record_at(stored.offset, |r| {
+            let w = r.data_word(1);
+            r.set_data_word(1, w ^ 1);
+        }));
+        let damaged = ring.records().next().unwrap();
+        assert!(!damaged.record.crc_ok(damaged.torn));
+        assert!(
+            !ring.corrupt_record_at(9999, |_| {}),
+            "no record at a bogus offset"
+        );
+    }
+
+    #[test]
+    fn data_word_accessors_cover_each_kind() {
+        let u = ur(0, 0, 0x40);
+        assert_eq!(u.kind.data_words(), 2);
+        assert_eq!(u.data_word(0), 0xAA);
+        assert_eq!(u.data_word(1), 0xBB);
+        let r = LogRecord::redo_only(key(0, 0), Addr::new(0x40), 7, 0xFF);
+        assert_eq!(r.kind.data_words(), 1);
+        assert_eq!(r.data_word(0), 7);
+        assert_eq!(LogRecord::commit(key(0, 0), None).kind.data_words(), 0);
+    }
+
+    #[test]
+    fn decode_meta_round_trips_and_rejects_reserved_kind() {
+        for rec in [
+            ur(3, 515, 0x1240),
+            LogRecord::redo_only(key(1, 2), Addr::new(0x80), 5, 0x0F),
+            LogRecord::commit(key(2, 9), Some(77)),
+        ] {
+            let d = LogRecord::decode_meta(rec.meta_words()).unwrap();
+            assert_eq!(d.kind, rec.kind);
+            assert_eq!(d.key, rec.key);
+            assert_eq!(d.dirty_mask, rec.dirty_mask);
+            assert_eq!(d.ulog_count, rec.ulog_count);
+        }
+        let err = LogRecord::decode_meta([0, 0b11]).unwrap_err();
+        assert_eq!(err.kind_bits, 3);
+        assert!(err.to_string().contains("kind bits"));
     }
 }

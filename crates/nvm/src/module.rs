@@ -104,14 +104,21 @@ impl NvmmModule {
             *self.data_wear.entry(line).or_insert(0) += 1;
         }
         self.backing.insert(line, data);
-        ServicedWrite { cost, choices: region.choices }
+        ServicedWrite {
+            cost,
+            choices: region.choices,
+        }
     }
 
     /// Writes one log record into its ring slot (`physical_offset` is the
     /// slot's offset within the log region). The undo and redo words go
     /// through the SLDE selector with a DLDC budget of one word per entry
     /// (§IV-B: never both undo and redo of one entry).
-    pub fn write_log_record(&mut self, stored: &StoredRecord, physical_offset: u64) -> ServicedWrite {
+    pub fn write_log_record(
+        &mut self,
+        stored: &StoredRecord,
+        physical_offset: u64,
+    ) -> ServicedWrite {
         let rec = &stored.record;
         let meta = rec.meta_words();
         // Fold the torn bit into the metadata stream as its own word slot
@@ -133,7 +140,9 @@ impl NvmmModule {
                 key ^ 1,
             ));
         }
-        let region = self.codec.encode_log_entry(&meta, &data, 1, rec.kind.slot_cells());
+        let region = self
+            .codec
+            .encode_log_entry(&meta, &data, 1, rec.kind.slot_cells());
         let states = self
             .log_states
             .entry(physical_offset)
@@ -142,7 +151,10 @@ impl NvmmModule {
         if !cost.is_silent() {
             *self.log_wear.entry(physical_offset).or_insert(0) += 1;
         }
-        ServicedWrite { cost, choices: region.choices }
+        ServicedWrite {
+            cost,
+            choices: region.choices,
+        }
     }
 
     /// Wear summary: `(max_data_line_writes, max_log_slot_writes,
@@ -152,7 +164,11 @@ impl NvmmModule {
     pub fn wear_summary(&self) -> (u64, u64, usize) {
         let max_data = self.data_wear.values().copied().max().unwrap_or(0);
         let max_log = self.log_wear.values().copied().max().unwrap_or(0);
-        (max_data, max_log, self.data_wear.len() + self.log_wear.len())
+        (
+            max_data,
+            max_log,
+            self.data_wear.len() + self.log_wear.len(),
+        )
     }
 }
 
@@ -238,12 +254,21 @@ mod tests {
     fn log_record_write_has_cost_and_choices() {
         let mut m = module();
         let rec = LogRecord::undo_redo(key(), Addr::new(0x40), 0xAAAA, 0xAAAB, 0x01);
-        let stored = crate::log::StoredRecord { record: rec, offset: 0, torn: false, seq: 0 };
+        let stored = crate::log::StoredRecord {
+            record: rec,
+            offset: 0,
+            torn: false,
+            seq: 0,
+        };
         let s = m.write_log_record(&stored, 0);
         assert!(s.cost.cells_programmed > 0);
         assert_eq!(s.choices.len(), 2); // undo + redo words
-        // Exactly one word may use DLDC.
-        let dldc = s.choices.iter().filter(|&&c| c != EncodingChoice::Fpc).count();
+                                        // Exactly one word may use DLDC.
+        let dldc = s
+            .choices
+            .iter()
+            .filter(|&&c| c != EncodingChoice::Fpc)
+            .count();
         assert!(dldc <= 1);
     }
 
@@ -251,11 +276,21 @@ mod tests {
     fn slot_reuse_compares_against_previous_pass() {
         let mut m = module();
         let rec = LogRecord::undo_redo(key(), Addr::new(0x40), 0x1234, 0x5678, 0xFF);
-        let stored = crate::log::StoredRecord { record: rec, offset: 0, torn: false, seq: 0 };
+        let stored = crate::log::StoredRecord {
+            record: rec,
+            offset: 0,
+            torn: false,
+            seq: 0,
+        };
         let first = m.write_log_record(&stored, 0);
         // Same record re-written into the same physical slot: almost
         // everything matches the stored states except the torn bit.
-        let stored2 = crate::log::StoredRecord { record: rec, offset: 4096, torn: true, seq: 1 };
+        let stored2 = crate::log::StoredRecord {
+            record: rec,
+            offset: 4096,
+            torn: true,
+            seq: 1,
+        };
         let second = m.write_log_record(&stored2, 0);
         assert!(second.cost.cells_programmed < first.cost.cells_programmed);
     }
@@ -264,7 +299,12 @@ mod tests {
     fn commit_record_encodes_without_data_words() {
         let mut m = module();
         let rec = LogRecord::commit(key(), Some(5));
-        let stored = crate::log::StoredRecord { record: rec, offset: 64, torn: false, seq: 3 };
+        let stored = crate::log::StoredRecord {
+            record: rec,
+            offset: 64,
+            torn: false,
+            seq: 3,
+        };
         let s = m.write_log_record(&stored, 64);
         assert!(s.choices.is_empty());
         assert!(s.cost.cells_programmed > 0);
@@ -273,7 +313,10 @@ mod tests {
     #[test]
     fn unwritten_lines_read_zero() {
         let m = module();
-        assert_eq!(m.read_data_line(LineAddr::from_index(77)), LineData::zeroed());
+        assert_eq!(
+            m.read_data_line(LineAddr::from_index(77)),
+            LineData::zeroed()
+        );
     }
 }
 

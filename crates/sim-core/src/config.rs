@@ -101,7 +101,10 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        CoreConfig { cores: 8, frequency: Frequency::ghz(3.0) }
+        CoreConfig {
+            cores: 8,
+            frequency: Frequency::ghz(3.0),
+        }
     }
 }
 
@@ -127,17 +130,29 @@ pub struct CacheLevelConfig {
 impl CacheLevelConfig {
     /// Table III L1: private 32 KB, 8-way, 4 cycles.
     pub fn l1_default() -> Self {
-        CacheLevelConfig { capacity_bytes: 32 * 1024, ways: 8, latency_cycles: 4 }
+        CacheLevelConfig {
+            capacity_bytes: 32 * 1024,
+            ways: 8,
+            latency_cycles: 4,
+        }
     }
 
     /// Table III L2: private 256 KB, 8-way, 12 cycles.
     pub fn l2_default() -> Self {
-        CacheLevelConfig { capacity_bytes: 256 * 1024, ways: 8, latency_cycles: 12 }
+        CacheLevelConfig {
+            capacity_bytes: 256 * 1024,
+            ways: 8,
+            latency_cycles: 12,
+        }
     }
 
     /// Table III L3: shared 8 MB, 16-way, 28 cycles.
     pub fn l3_default() -> Self {
-        CacheLevelConfig { capacity_bytes: 8 * 1024 * 1024, ways: 16, latency_cycles: 28 }
+        CacheLevelConfig {
+            capacity_bytes: 8 * 1024 * 1024,
+            ways: 16,
+            latency_cycles: 28,
+        }
     }
 
     /// Number of sets implied by capacity, line size and associativity.
@@ -148,7 +163,7 @@ impl CacheLevelConfig {
     pub fn sets(&self) -> usize {
         let lines = self.capacity_bytes / crate::types::LINE_BYTES;
         assert!(
-            self.ways > 0 && lines > 0 && lines % self.ways == 0,
+            self.ways > 0 && lines > 0 && lines.is_multiple_of(self.ways),
             "invalid cache geometry: {self:?}"
         );
         lines / self.ways
@@ -222,6 +237,10 @@ pub struct MemConfig {
     /// more = distributed (per-thread) logs, the §III-F variant where
     /// commit records carry timestamps to define the commit order.
     pub log_slices: usize,
+    /// Write-verify retry budget: how many re-programs the controller
+    /// attempts after a failed read-back before declaring the slot stuck
+    /// and remapping it to a spare.
+    pub write_retry_budget: u32,
 }
 
 impl Default for MemConfig {
@@ -238,6 +257,7 @@ impl Default for MemConfig {
             write_latency_scale: 1.0,
             log_region_bytes: 256 * 1024 * 1024,
             log_slices: 1,
+            write_retry_budget: 3,
         }
     }
 }
@@ -324,7 +344,7 @@ impl SystemConfig {
             log: LogConfig::default(),
         };
         if design == DesignKind::FwbUnsafe {
-            cfg.log.undo_redo_entries = cfg.log.undo_redo_entries + cfg.log.redo_entries;
+            cfg.log.undo_redo_entries += cfg.log.redo_entries;
             cfg.log.redo_entries = 0;
         }
         cfg
@@ -339,7 +359,10 @@ impl SystemConfig {
     /// undo log data.
     pub fn validate(&self) -> Result<(), String> {
         if self.cores.cores == 0 || self.cores.cores > 256 {
-            return Err(format!("core count {} out of range 1..=256", self.cores.cores));
+            return Err(format!(
+                "core count {} out of range 1..=256",
+                self.cores.cores
+            ));
         }
         if self.log.eager_evict_cycles >= self.hierarchy.min_traversal_cycles() {
             return Err(format!(

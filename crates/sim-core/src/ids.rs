@@ -134,6 +134,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(ThreadId::new(2).to_string(), "T2");
         assert_eq!(TxId::new(9).to_string(), "tx9");
-        assert_eq!(TxKey::new(ThreadId::new(2), TxId::new(9)).to_string(), "T2/tx9");
+        assert_eq!(
+            TxKey::new(ThreadId::new(2), TxId::new(9)).to_string(),
+            "T2/tx9"
+        );
     }
 }

@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -34,6 +35,7 @@ pub mod types;
 pub use config::{
     CacheLevelConfig, CoreConfig, DesignKind, HierarchyConfig, LogConfig, MemConfig, SystemConfig,
 };
+pub use fault::FaultPlan;
 pub use ids::{ThreadId, TxId};
 pub use rng::DetRng;
 pub use stats::SimStats;

@@ -27,7 +27,9 @@ pub struct DetRng {
 impl DetRng {
     /// Creates a generator from a seed. Any seed (including 0) is valid.
     pub fn new(seed: u64) -> Self {
-        DetRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        DetRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Returns the next 64 random bits.

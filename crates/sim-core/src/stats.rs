@@ -72,6 +72,20 @@ pub struct MemStats {
     /// Times a log slice was extended with a temporary overflow region
     /// (§III-A option 2).
     pub log_overflow_growths: u64,
+    /// Crash-time torn drains injected by the fault plan (a log slot
+    /// persisted only a prefix of its words).
+    pub faults_torn_drains: u64,
+    /// Crash-time bit flips injected by the fault plan (escaped
+    /// write-verify; must be caught by recovery's CRC check).
+    pub faults_bit_flips: u64,
+    /// Drain-time writes whose verify pass read back a mismatch (injected
+    /// corruption or a stuck slot).
+    pub write_verify_failures: u64,
+    /// Re-programs performed after a failed verify.
+    pub write_verify_retries: u64,
+    /// Log slots remapped to spares after the retry budget was exhausted
+    /// (stuck-at wear-out degradation path).
+    pub stuck_slots_remapped: u64,
 }
 
 impl MemStats {
@@ -92,6 +106,18 @@ impl MemStats {
         self.silent_block_writes += other.silent_block_writes;
         self.read_wait_cycles += other.read_wait_cycles;
         self.log_overflow_growths += other.log_overflow_growths;
+        self.faults_torn_drains += other.faults_torn_drains;
+        self.faults_bit_flips += other.faults_bit_flips;
+        self.write_verify_failures += other.write_verify_failures;
+        self.write_verify_retries += other.write_verify_retries;
+        self.stuck_slots_remapped += other.stuck_slots_remapped;
+    }
+
+    /// Whether any crash-time fault (torn drain or escaped bit flip) was
+    /// injected — the damage classes recovery must detect and drop. The
+    /// oracle relaxes strict durability exactly when this is set.
+    pub fn crash_faults_injected(&self) -> bool {
+        self.faults_torn_drains > 0 || self.faults_bit_flips > 0
     }
 }
 
@@ -226,19 +252,27 @@ mod tests {
     fn hit_rate_handles_empty() {
         let s = CacheLevelStats::default();
         assert_eq!(s.hit_rate(), None);
-        let s = CacheLevelStats { hits: 3, misses: 1, ..Default::default() };
+        let s = CacheLevelStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.hit_rate().unwrap() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = SimStats::default();
-        a.transactions_committed = 1;
+        let mut a = SimStats {
+            transactions_committed: 1,
+            ..Default::default()
+        };
         a.mem.nvmm_writes = 10;
         a.cache[0].hits = 5;
         a.log.coalesced = 2;
-        let mut b = SimStats::default();
-        b.transactions_committed = 2;
+        let mut b = SimStats {
+            transactions_committed: 2,
+            ..Default::default()
+        };
         b.mem.nvmm_writes = 20;
         b.cache[0].hits = 7;
         b.log.coalesced = 3;

@@ -172,7 +172,11 @@ impl LineData {
     /// Panics if `index >= WORDS_PER_LINE`.
     pub fn word(&self, index: usize) -> u64 {
         let start = index * WORD_BYTES;
-        u64::from_le_bytes(self.0[start..start + WORD_BYTES].try_into().expect("word slice"))
+        u64::from_le_bytes(
+            self.0[start..start + WORD_BYTES]
+                .try_into()
+                .expect("word slice"),
+        )
     }
 
     /// Writes word `index` (little-endian).
@@ -301,7 +305,10 @@ mod tests {
         assert_eq!(dirty_byte_mask(0x0000_0000_0000_00FF, 0), 0b1);
         assert_eq!(dirty_byte_mask(0xFF00_0000_0000_0000, 0), 0b1000_0000);
         // Paper Fig. 11: A1 -> A2 changes every byte.
-        assert_eq!(dirty_byte_mask(0x000300F9000500FE, 0xCDEFCDEFCDEFCDEF), 0xFF);
+        assert_eq!(
+            dirty_byte_mask(0x000300F9000500FE, 0xCDEFCDEFCDEFCDEF),
+            0xFF
+        );
     }
 
     #[test]

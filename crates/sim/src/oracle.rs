@@ -14,6 +14,17 @@
 //! end earlier — but it must still be a prefix, and it must contain every
 //! transaction recovery claims to have rolled forward and none it rolled
 //! back.
+//!
+//! Injected crash-time faults (torn drains, escaped bit flips) get the
+//! same relaxation: hardened recovery may soundly demote a transaction
+//! whose log records were damaged, so the surviving prefix may stop short
+//! of the last program-observed commit — but non-prefix survival (a later
+//! transaction persisting while an earlier one is lost) and partial
+//! transactions remain violations. [`System::verify_recovery`] passes
+//! `strict_durability = false` exactly when the controller reports a
+//! crash-time fault.
+//!
+//! [`System::verify_recovery`]: crate::system::System::verify_recovery
 
 use std::collections::{HashMap, HashSet};
 
@@ -51,7 +62,11 @@ impl Oracle {
     /// A transaction began.
     pub fn begin(&mut self, key: TxKey) {
         self.index.insert(key, self.txs.len());
-        self.txs.push(OracleTx { key, writes: Vec::new(), committed: false });
+        self.txs.push(OracleTx {
+            key,
+            writes: Vec::new(),
+            committed: false,
+        });
     }
 
     /// A transactional store executed (program order).
@@ -285,10 +300,19 @@ mod tests {
         o.begin(key(0));
         o.record_write(key(0), a, 5);
         o.mark_committed(key(0));
-        let report = RecoveryReport { undone: vec![key(0)], ..Default::default() };
-        assert!(o.verify(&m, &report, false).is_ok(), "rolled-back tx leaves zeros");
+        let report = RecoveryReport {
+            undone: vec![key(0)],
+            ..Default::default()
+        };
+        assert!(
+            o.verify(&m, &report, false).is_ok(),
+            "rolled-back tx leaves zeros"
+        );
         set_word(&mut m, a, 5);
-        assert!(o.verify(&m, &report, false).is_err(), "undone tx must not persist");
+        assert!(
+            o.verify(&m, &report, false).is_err(),
+            "undone tx must not persist"
+        );
     }
 
     #[test]
@@ -299,7 +323,10 @@ mod tests {
         o.begin(key(0));
         o.record_write(key(0), a, 5);
         o.mark_committed(key(0));
-        let report = RecoveryReport { redone: vec![key(0)], ..Default::default() };
+        let report = RecoveryReport {
+            redone: vec![key(0)],
+            ..Default::default()
+        };
         assert!(o.verify(&m, &report, false).is_err(), "redone but absent");
         set_word(&mut m, a, 5);
         assert!(o.verify(&m, &report, false).is_ok());
@@ -331,8 +358,42 @@ mod tests {
         o.record_write(key(1), a, 2);
         o.mark_committed(key(1));
         // Recovery claims tx1 redone but tx0 undone: not a prefix.
-        let report =
-            RecoveryReport { redone: vec![key(1)], undone: vec![key(0)], ..Default::default() };
+        let report = RecoveryReport {
+            redone: vec![key(1)],
+            undone: vec![key(0)],
+            ..Default::default()
+        };
+        assert!(o.verify(&m, &report, false).is_err());
+    }
+
+    #[test]
+    fn fault_demoted_commit_passes_only_in_relaxed_mode() {
+        // A crash-time fault damaged the commit's log records: hardened
+        // recovery rolled the (program-observed) committed tx back. The
+        // relaxed check accepts the shorter prefix; strict must reject it,
+        // and even relaxed rejects a half-applied transaction.
+        let mut m = mc();
+        let a = m.map().data_base();
+        let b = Addr::new(a.as_u64() + 8);
+        let mut o = Oracle::new();
+        o.begin(key(0));
+        o.record_write(key(0), a, 1);
+        o.record_write(key(0), b, 2);
+        o.mark_committed(key(0));
+        let report = RecoveryReport {
+            undone: vec![key(0)],
+            torn_records: 1,
+            ..Default::default()
+        };
+        assert!(
+            o.verify(&m, &report, false).is_ok(),
+            "demotion is a valid shorter prefix"
+        );
+        assert!(
+            o.verify(&m, &report, true).is_err(),
+            "strict durability still fails"
+        );
+        set_word(&mut m, a, 1); // half the tx leaked through: never acceptable
         assert!(o.verify(&m, &report, false).is_err());
     }
 

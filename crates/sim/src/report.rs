@@ -67,9 +67,11 @@ mod tests {
     use super::*;
 
     fn report(cycles: u64, writes: u64, energy: f64, bits: u64) -> RunReport {
-        let mut stats = SimStats::default();
-        stats.cycles = cycles;
-        stats.transactions_committed = 1000;
+        let mut stats = SimStats {
+            cycles,
+            transactions_committed: 1000,
+            ..Default::default()
+        };
         stats.mem.nvmm_writes = writes;
         stats.mem.write_energy_pj = energy;
         stats.mem.log_bits_programmed = bits;

@@ -1,0 +1,185 @@
+//! End-to-end fault-injection tests: crashes under an active [`FaultPlan`]
+//! must leave a state hardened recovery can repair — every transaction
+//! all-there or all-gone, survival a commit-order prefix — even when the
+//! crash tears or bit-flips in-flight log slots.
+
+use morlog_sim::System;
+use morlog_sim_core::fault::FaultPlan;
+use morlog_sim_core::stats::SimStats;
+use morlog_sim_core::{DesignKind, SystemConfig};
+use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+
+/// Runs a workload under `plan`, crashes, recovers, verifies — and returns
+/// how many faults the plan injected plus whether recovery saw damage.
+fn crash_with_plan(
+    design: DesignKind,
+    kind: WorkloadKind,
+    plan: FaultPlan,
+    crash_cycle: u64,
+    seed: u64,
+) -> (u32, bool) {
+    let label = plan.label();
+    let cfg = SystemConfig::for_design(design);
+    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+    wl.total_transactions = 40;
+    wl.seed = seed;
+    let trace = generate(kind, &wl);
+    let mut sys = System::new(cfg, &trace);
+    sys.set_fault_plan(plan);
+    sys.run_for(crash_cycle);
+    sys.crash();
+    let report = sys.recover();
+    sys.verify_recovery(&report).unwrap_or_else(|e| {
+        panic!("{design}/{kind} plan={label} crash@{crash_cycle} seed={seed}: {e}")
+    });
+    (sys.memory().fault_plan().injected(), report.saw_damage())
+}
+
+#[test]
+fn torn_drains_recover_atomically_across_designs() {
+    let mut injected_total = 0;
+    for design in [
+        DesignKind::MorLogSlde,
+        DesignKind::MorLogDp,
+        DesignKind::FwbCrade,
+    ] {
+        for seed in 0..6 {
+            let (injected, _) = crash_with_plan(
+                design,
+                WorkloadKind::Hash,
+                FaultPlan::single_torn(seed),
+                8_000 + seed * 2_777,
+                seed + 1,
+            );
+            injected_total += injected;
+        }
+    }
+    assert!(
+        injected_total > 0,
+        "the sweep must actually exercise torn drains"
+    );
+}
+
+#[test]
+fn crash_flips_are_caught_by_the_crc() {
+    let mut injected_total = 0;
+    let mut damage_seen = false;
+    for design in [DesignKind::MorLogSlde, DesignKind::MorLogDp] {
+        for seed in 0..6 {
+            let (injected, damaged) = crash_with_plan(
+                design,
+                WorkloadKind::Tpcc,
+                FaultPlan::single_crash_flip(seed),
+                6_000 + seed * 3_331,
+                seed + 2,
+            );
+            injected_total += injected;
+            damage_seen |= damaged;
+        }
+    }
+    assert!(injected_total > 0, "the sweep must actually inject flips");
+    assert!(
+        damage_seen,
+        "an injected flip must surface as a classified record"
+    );
+}
+
+#[test]
+fn fault_storms_never_break_atomicity() {
+    for design in [
+        DesignKind::FwbSlde,
+        DesignKind::MorLogCrade,
+        DesignKind::MorLogDp,
+    ] {
+        for seed in 0..4 {
+            crash_with_plan(
+                design,
+                WorkloadKind::BTree,
+                FaultPlan::storm(seed, 4),
+                10_000 + seed * 1_999,
+                seed + 3,
+            );
+        }
+    }
+}
+
+#[test]
+fn worn_slots_are_remapped_and_stay_recoverable() {
+    // A tiny ring truncated aggressively (fast FWB) wraps constantly, so
+    // physical slots are reused, wear accumulates and the endurance limit
+    // trips: write-verify must remap the stuck slots to spares without
+    // ever leaving damage for recovery to find.
+    let mut cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+    cfg.mem.log_region_bytes = 4096;
+    cfg.hierarchy.force_write_back_period = 4_000;
+    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+    wl.total_transactions = 400;
+    wl.seed = 17;
+    let trace = generate(WorkloadKind::Queue, &wl);
+    let mut sys = System::new(cfg, &trace);
+    sys.set_fault_plan(FaultPlan::worn_slots(5, 3));
+    sys.run_for(600_000);
+    sys.crash();
+    let report = sys.recover();
+    sys.verify_recovery(&report)
+        .unwrap_or_else(|e| panic!("worn slots: {e}"));
+    let stats = sys.memory().stats();
+    assert!(
+        stats.stuck_slots_remapped > 0,
+        "wear must trip the remap path"
+    );
+    assert_eq!(
+        stats.write_verify_retries,
+        stats.stuck_slots_remapped * u64::from(cfg_retry_budget()),
+        "every stuck slot burns the whole retry budget"
+    );
+    assert_eq!(
+        report.torn_records + report.corrupt_records,
+        0,
+        "repaired writes leave no damage"
+    );
+}
+
+fn cfg_retry_budget() -> u32 {
+    morlog_sim_core::MemConfig::default().write_retry_budget
+}
+
+#[test]
+fn inert_plan_matches_the_faultless_baseline() {
+    // FaultPlan::none() must be bit-identical to not installing a plan:
+    // the payload tracking, gating and verify paths all switch off.
+    let run = |with_plan: bool| -> SimStats {
+        let cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+        let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+        wl.total_transactions = 30;
+        let trace = generate(WorkloadKind::Sps, &wl);
+        let mut sys = System::new(cfg, &trace);
+        if with_plan {
+            sys.set_fault_plan(FaultPlan::none());
+        }
+        sys.run()
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn fault_sweeps_are_deterministic() {
+    let go = || {
+        let cfg = SystemConfig::for_design(DesignKind::MorLogDp);
+        let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+        wl.total_transactions = 40;
+        wl.seed = 9;
+        let trace = generate(WorkloadKind::Hash, &wl);
+        let mut sys = System::new(cfg, &trace);
+        sys.set_fault_plan(FaultPlan::storm(21, 3));
+        sys.run_for(14_000);
+        sys.crash();
+        let report = sys.recover();
+        sys.verify_recovery(&report).expect("storm run verifies");
+        (report, *sys.memory().stats())
+    };
+    let (r1, s1) = go();
+    let (r2, s2) = go();
+    assert_eq!(r1, r2, "same seed, same plan: identical recovery outcome");
+    assert_eq!(s1, s2);
+}

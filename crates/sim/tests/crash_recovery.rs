@@ -44,8 +44,17 @@ fn morlog_dp_crashes_at_many_points() {
 
 #[test]
 fn crash_sweep_across_workloads() {
-    for kind in [WorkloadKind::BTree, WorkloadKind::Queue, WorkloadKind::Tpcc, WorkloadKind::Sps] {
-        for design in [DesignKind::FwbSlde, DesignKind::MorLogCrade, DesignKind::MorLogDp] {
+    for kind in [
+        WorkloadKind::BTree,
+        WorkloadKind::Queue,
+        WorkloadKind::Tpcc,
+        WorkloadKind::Sps,
+    ] {
+        for design in [
+            DesignKind::FwbSlde,
+            DesignKind::MorLogCrade,
+            DesignKind::MorLogDp,
+        ] {
             for crash in [1_000, 10_000, 60_000] {
                 crash_at(design, kind, 40, crash, 7);
             }
@@ -57,14 +66,26 @@ fn crash_sweep_across_workloads() {
 fn dense_crash_sweep_morlog_dp_tpcc() {
     // TPCC has the most intra-transaction structure; sweep densely.
     for i in 0..40 {
-        crash_at(DesignKind::MorLogDp, WorkloadKind::Tpcc, 30, 800 + i * 977, 11);
+        crash_at(
+            DesignKind::MorLogDp,
+            WorkloadKind::Tpcc,
+            30,
+            800 + i * 977,
+            11,
+        );
     }
 }
 
 #[test]
 fn dense_crash_sweep_morlog_slde_rbtree() {
     for i in 0..40 {
-        crash_at(DesignKind::MorLogSlde, WorkloadKind::RBTree, 30, 600 + i * 1033, 13);
+        crash_at(
+            DesignKind::MorLogSlde,
+            WorkloadKind::RBTree,
+            30,
+            600 + i * 1033,
+            13,
+        );
     }
 }
 
@@ -72,7 +93,11 @@ fn dense_crash_sweep_morlog_slde_rbtree() {
 fn crash_after_truncation_scans() {
     // Shrink the force-write-back period so scans and log truncation run
     // during the test; recovery must stay consistent with entries gone.
-    for design in [DesignKind::FwbCrade, DesignKind::MorLogSlde, DesignKind::MorLogDp] {
+    for design in [
+        DesignKind::FwbCrade,
+        DesignKind::MorLogSlde,
+        DesignKind::MorLogDp,
+    ] {
         let mut cfg = SystemConfig::for_design(design);
         cfg.hierarchy.force_write_back_period = 15_000;
         let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
@@ -122,7 +147,11 @@ fn crash_with_tiny_caches_exercises_evictions() {
 fn distributed_logs_crash_recovery() {
     // §III-F distributed (per-thread) logs: commit order comes from the
     // timestamps in the commit records instead of the central ring order.
-    for design in [DesignKind::FwbCrade, DesignKind::MorLogSlde, DesignKind::MorLogDp] {
+    for design in [
+        DesignKind::FwbCrade,
+        DesignKind::MorLogSlde,
+        DesignKind::MorLogDp,
+    ] {
         let mut cfg = SystemConfig::for_design(design);
         cfg.mem.log_slices = 4;
         let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
@@ -174,7 +203,11 @@ fn new_profiling_workloads_survive_crashes() {
 #[test]
 fn transaction_table_truncation_is_crash_safe() {
     use morlog_sim_core::config::TruncationPolicy;
-    for design in [DesignKind::FwbCrade, DesignKind::MorLogSlde, DesignKind::MorLogDp] {
+    for design in [
+        DesignKind::FwbCrade,
+        DesignKind::MorLogSlde,
+        DesignKind::MorLogDp,
+    ] {
         let mut cfg = SystemConfig::for_design(design);
         cfg.log.truncation = TruncationPolicy::TransactionTable;
         cfg.hierarchy.force_write_back_period = 15_000; // persist data often

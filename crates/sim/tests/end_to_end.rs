@@ -13,7 +13,10 @@ fn small_run(design: DesignKind, kind: WorkloadKind, txs: usize) -> morlog_sim_c
     let trace = generate(kind, &wl);
     let mut sys = System::new(cfg, &trace);
     let stats = sys.run();
-    assert_eq!(stats.transactions_committed as usize, trace.total_transactions());
+    assert_eq!(
+        stats.transactions_committed as usize,
+        trace.total_transactions()
+    );
     stats
 }
 
@@ -36,7 +39,11 @@ fn all_workloads_complete_under_morlog_slde() {
 
 #[test]
 fn clean_run_recovery_is_consistent() {
-    for design in [DesignKind::FwbCrade, DesignKind::MorLogSlde, DesignKind::MorLogDp] {
+    for design in [
+        DesignKind::FwbCrade,
+        DesignKind::MorLogSlde,
+        DesignKind::MorLogDp,
+    ] {
         let cfg = SystemConfig::for_design(design);
         let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
         wl.total_transactions = 50;

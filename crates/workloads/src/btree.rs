@@ -206,7 +206,11 @@ fn generate_inner(cfg: &WorkloadConfig, thread: usize) -> (Workspace, BTree) {
     let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(3));
     let node_bytes = cfg.dataset.bytes();
     let words = node_bytes / 8;
-    let tree = BTree { node_bytes, max_keys: (words - 2) / 2, root_p: Addr::new(0) };
+    let tree = BTree {
+        node_bytes,
+        max_keys: (words - 2) / 2,
+        root_p: Addr::new(0),
+    };
     let root_p = ws.pmalloc(64);
     let tree = BTree { root_p, ..tree };
     let first = tree.new_node(&mut ws, true);
@@ -255,7 +259,11 @@ mod tests {
         let node_bytes = c.dataset.bytes();
         let words = node_bytes / 8;
         let root_p = ws.pmalloc(64);
-        let tree = BTree { node_bytes, max_keys: (words - 2) / 2, root_p };
+        let tree = BTree {
+            node_bytes,
+            max_keys: (words - 2) / 2,
+            root_p,
+        };
         let first = tree.new_node(&mut ws, true);
         ws.store(root_p, first.as_u64());
 
@@ -279,7 +287,10 @@ mod tests {
         tree.collect(&ws, root, &mut walked);
         let mut expected = reference.clone();
         expected.sort_unstable();
-        assert!(walked.windows(2).all(|w| w[0] <= w[1]), "in-order walk sorted");
+        assert!(
+            walked.windows(2).all(|w| w[0] <= w[1]),
+            "in-order walk sorted"
+        );
         assert_eq!(walked, expected, "tree holds exactly the live keys");
     }
 
@@ -297,6 +308,9 @@ mod tests {
     fn generates_requested_transactions() {
         let t = generate_thread(&cfg(100, DatasetSize::Small), 0);
         assert_eq!(t.transactions.len(), 100);
-        assert!(t.transactions.iter().any(|tx| tx.stores() > 2), "splits and shifts");
+        assert!(
+            t.transactions.iter().any(|tx| tx.stores() > 2),
+            "splits and shifts"
+        );
     }
 }

@@ -79,7 +79,11 @@ impl CritBit {
         let internal = ws.pmalloc(self.node_bytes).as_u64();
         ws.store(Addr::new(internal + TAG), 0);
         ws.store(Addr::new(internal + BIT), crit);
-        let (lo, hi) = if (key >> crit) & 1 == 0 { (leaf, n) } else { (n, leaf) };
+        let (lo, hi) = if (key >> crit) & 1 == 0 {
+            (leaf, n)
+        } else {
+            (n, leaf)
+        };
         ws.store(Addr::new(internal + LEFT), lo);
         ws.store(Addr::new(internal + RIGHT), hi);
         match parent {
@@ -137,7 +141,10 @@ impl CritBit {
 pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
     let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(10));
     let root_p = ws.pmalloc(64);
-    let tree = CritBit { node_bytes: cfg.dataset.bytes(), root_p };
+    let tree = CritBit {
+        node_bytes: cfg.dataset.bytes(),
+        root_p,
+    };
     let key_space = 1 << 18;
     let mut live: Vec<u64> = Vec::new();
     for _ in 0..cfg.per_thread() {
@@ -168,7 +175,10 @@ mod tests {
     fn tree_holds_exactly_the_live_keys() {
         let mut ws = Workspace::new(Addr::new(0x1000_0000), 0, 1);
         let root_p = ws.pmalloc(64);
-        let tree = CritBit { node_bytes: 64, root_p };
+        let tree = CritBit {
+            node_bytes: 64,
+            root_p,
+        };
         let mut rng = DetRng::new(6);
         let mut live: Vec<u64> = Vec::new();
         ws.begin_tx();
@@ -198,7 +208,10 @@ mod tests {
         // Parent crit-bit indices strictly decrease along any path.
         let mut ws = Workspace::new(Addr::new(0x1000_0000), 0, 2);
         let root_p = ws.pmalloc(64);
-        let tree = CritBit { node_bytes: 64, root_p };
+        let tree = CritBit {
+            node_bytes: 64,
+            root_p,
+        };
         ws.begin_tx();
         for k in [5u64, 9, 1, 12, 7, 3, 200, 77, 41] {
             tree.insert(&mut ws, k);

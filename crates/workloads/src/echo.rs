@@ -41,59 +41,62 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
     for _ in 0..cfg.per_thread() {
         ws.begin_tx();
         for _ in 0..OPS_PER_TX {
-        let key = 1 + ws.rng().gen_range(key_space);
-        let bucket = table.offset(hash(key) * 8);
-        let put = ws.rng().gen_bool(0.8);
-        if put {
-            let ts = ws.load(ts_p);
-            ws.store(ts_p, ts + 1);
-            // Update in place when the key exists (the common KV-store
-            // case): rewrite the value words and stamp the new version.
-            let mut cur = ws.load(bucket);
-            let mut found = 0u64;
-            let mut hops = 0;
-            while cur != 0 && hops < 16 {
-                let k = ws.load(Addr::new(cur + KEY));
-                if k == key {
-                    found = cur;
-                    break;
+            let key = 1 + ws.rng().gen_range(key_space);
+            let bucket = table.offset(hash(key) * 8);
+            let put = ws.rng().gen_bool(0.8);
+            if put {
+                let ts = ws.load(ts_p);
+                ws.store(ts_p, ts + 1);
+                // Update in place when the key exists (the common KV-store
+                // case): rewrite the value words and stamp the new version.
+                let mut cur = ws.load(bucket);
+                let mut found = 0u64;
+                let mut hops = 0;
+                while cur != 0 && hops < 16 {
+                    let k = ws.load(Addr::new(cur + KEY));
+                    if k == key {
+                        found = cur;
+                        break;
+                    }
+                    cur = ws.load(Addr::new(cur + PREV));
+                    hops += 1;
                 }
-                cur = ws.load(Addr::new(cur + PREV));
-                hops += 1;
-            }
-            let rec = if found != 0 {
-                Addr::new(found)
+                let rec = if found != 0 {
+                    Addr::new(found)
+                } else {
+                    let rec = ws.pmalloc(rec_bytes);
+                    ws.store(rec.offset(KEY), key);
+                    let head = ws.load(bucket);
+                    ws.store(rec.offset(PREV), head);
+                    ws.store(bucket, rec.as_u64());
+                    rec
+                };
+                ws.store(rec.offset(TS), ts + 1);
+                // Values are textual-ish small words; rewrites of an existing
+                // record change only a couple of bytes (Fig. 5's clean bytes).
+                for w in 0..value_words {
+                    ws.store(
+                        rec.offset(VALUE + w * 8),
+                        0x2020_2020_2020_0000 | ((ts + key + w) % 997),
+                    );
+                }
+                let p = ws.load(puts_p);
+                ws.store(puts_p, p + 1);
             } else {
-                let rec = ws.pmalloc(rec_bytes);
-                ws.store(rec.offset(KEY), key);
-                let head = ws.load(bucket);
-                ws.store(rec.offset(PREV), head);
-                ws.store(bucket, rec.as_u64());
-                rec
-            };
-            ws.store(rec.offset(TS), ts + 1);
-            // Values are textual-ish small words; rewrites of an existing
-            // record change only a couple of bytes (Fig. 5's clean bytes).
-            for w in 0..value_words {
-                ws.store(rec.offset(VALUE + w * 8), 0x2020_2020_2020_0000 | (ts + key + w) % 997);
-            }
-            let p = ws.load(puts_p);
-            ws.store(puts_p, p + 1);
-        } else {
-            // Get: chase the newest version of the key (loads only).
-            let mut cur = ws.load(bucket);
-            let mut hops = 0;
-            while cur != 0 && hops < 16 {
-                let k = ws.load(Addr::new(cur + KEY));
-                if k == key {
-                    let _v = ws.load(Addr::new(cur + VALUE));
-                    break;
+                // Get: chase the newest version of the key (loads only).
+                let mut cur = ws.load(bucket);
+                let mut hops = 0;
+                while cur != 0 && hops < 16 {
+                    let k = ws.load(Addr::new(cur + KEY));
+                    if k == key {
+                        let _v = ws.load(Addr::new(cur + VALUE));
+                        break;
+                    }
+                    cur = ws.load(Addr::new(cur + PREV));
+                    hops += 1;
                 }
-                cur = ws.load(Addr::new(cur + PREV));
-                hops += 1;
             }
-        }
-        ws.compute(8);
+            ws.compute(8);
         }
         ws.end_tx();
     }
@@ -120,7 +123,10 @@ mod tests {
     fn puts_dominate_and_bump_timestamp() {
         let t = generate_thread(&cfg(300), 0);
         let puts = t.transactions.iter().filter(|tx| tx.stores() > 0).count();
-        assert!(puts > 290, "batches of 8 ops nearly always contain a put ({puts})");
+        assert!(
+            puts > 290,
+            "batches of 8 ops nearly always contain a put ({puts})"
+        );
         // The timestamp word is the first store of every put.
         let ts_addr = t
             .transactions
@@ -170,6 +176,9 @@ mod tests {
                     > 1
             })
             .count();
-        assert!(repeats > 80, "most batches bump the timestamp several times ({repeats})");
+        assert!(
+            repeats > 80,
+            "most batches bump the timestamp several times ({repeats})"
+        );
     }
 }

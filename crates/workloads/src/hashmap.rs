@@ -38,7 +38,10 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
             let head = ws.load(bucket);
             ws.store(entry.offset(NEXT), head);
             for w in 0..payload_words {
-                ws.store(entry.offset(PAYLOAD + w * 8), key.wrapping_mul(w + 3) & 0xFFFF);
+                ws.store(
+                    entry.offset(PAYLOAD + w * 8),
+                    key.wrapping_mul(w + 3) & 0xFFFF,
+                );
             }
             ws.store(bucket, entry.as_u64());
             let c = ws.load(count_p);

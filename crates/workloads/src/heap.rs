@@ -42,7 +42,13 @@ impl PHeap {
     /// Panics if `base` is not 64-byte aligned.
     pub fn new(base: Addr, bytes: u64) -> Self {
         assert_eq!(base.as_u64() % 64, 0, "arena base must be line-aligned");
-        PHeap { base, limit: bytes, brk: 0, free: HashMap::new(), live_bytes: 0 }
+        PHeap {
+            base,
+            limit: bytes,
+            brk: 0,
+            free: HashMap::new(),
+            live_bytes: 0,
+        }
     }
 
     fn class(size: u64) -> u64 {

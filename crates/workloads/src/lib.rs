@@ -30,11 +30,11 @@ pub mod registry;
 pub mod sdg;
 pub mod sps;
 pub mod tpcc;
-pub mod vacation;
 pub mod trace;
+pub mod vacation;
 pub mod workspace;
 pub mod ycsb;
 
 pub use registry::{generate, DatasetSize, WorkloadConfig, WorkloadKind};
-pub use trace::{Op, Transaction, ThreadTrace, WorkloadTrace};
+pub use trace::{Op, ThreadTrace, Transaction, WorkloadTrace};
 pub use workspace::Workspace;

@@ -87,7 +87,7 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
         table: ws.pmalloc(BUCKETS * 8),
         chunks: ws.pmalloc(CHUNKS * chunk_bytes),
         chunk_bytes,
-        free: (0..CHUNKS).rev().map(|i| 0u64 + i).collect(),
+        free: (0..CHUNKS).rev().collect(),
         lru: Vec::new(),
     };
     // Pre-compute chunk addresses; free list holds indices.
@@ -127,7 +127,10 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
                 // with mostly-clean bytes (same flags, nearby values).
                 ws.store(Addr::new(chunk + FLAGS), 0x10 | (value_words << 8));
                 for w in 0..value_words {
-                    ws.store(Addr::new(chunk + VALUE + w * 8), 0x76_0000 | (key + w) % 251);
+                    ws.store(
+                        Addr::new(chunk + VALUE + w * 8),
+                        0x76_0000 | ((key + w) % 251),
+                    );
                 }
                 slab.touch(chunk);
             } else {
@@ -185,7 +188,10 @@ mod tests {
     fn recycled_items_rewrite_mostly_clean_bytes() {
         use crate::trace::WorkloadTrace;
         let t = generate_thread(&cfg(1500), 0);
-        let trace = WorkloadTrace { name: "memcached".into(), threads: vec![t] };
+        let trace = WorkloadTrace {
+            name: "memcached".into(),
+            threads: vec![t],
+        };
         // Clean-byte profile: the value/flags rewrites of recycled chunks
         // keep most bytes unchanged.
         let mut shadow = std::collections::HashMap::new();
@@ -200,7 +206,10 @@ mod tests {
                 }
             }
         }
-        assert!(clean * 10 > total * 5, "majority-clean rewrites: {clean}/{total}");
+        assert!(
+            clean * 10 > total * 5,
+            "majority-clean rewrites: {clean}/{total}"
+        );
     }
 
     #[test]

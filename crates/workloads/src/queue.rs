@@ -46,7 +46,10 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
             for w in 0..payload_words {
                 // Sequence-derived payload: small deltas between nodes, so
                 // recycled nodes are rewritten with mostly-clean bytes.
-                ws.store(node.offset(PAYLOAD + w * 8), 0x4000_0000_0000_0000 | (next_seq + w));
+                ws.store(
+                    node.offset(PAYLOAD + w * 8),
+                    0x4000_0000_0000_0000 | (next_seq + w),
+                );
             }
             next_seq += 1;
             let tail = ws.peek(tail_p);
@@ -108,7 +111,11 @@ mod tests {
         let touched = t
             .transactions
             .iter()
-            .filter(|tx| tx.ops.iter().any(|op| matches!(op, Op::Store(a, _) if *a == len_addr)))
+            .filter(|tx| {
+                tx.ops
+                    .iter()
+                    .any(|op| matches!(op, Op::Store(a, _) if *a == len_addr))
+            })
             .count();
         assert_eq!(touched, 200, "every transaction updates the queue length");
     }
@@ -121,15 +128,16 @@ mod tests {
         let mut deq_seqs: Vec<u64> = Vec::new();
         for tx in &t.transactions {
             // A dequeue loads the node's SEQ word (second load).
-            let stores: Vec<&Op> =
-                tx.ops.iter().filter(|o| matches!(o, Op::Store(..))).collect();
+            let stores: Vec<&Op> = tx
+                .ops
+                .iter()
+                .filter(|o| matches!(o, Op::Store(..)))
+                .collect();
             if stores.len() <= 4 {
                 // dequeues store head (+maybe tail) + len: 2-3 stores
-                if let Some(Op::Load(seq_addr)) = tx
-                    .ops
-                    .iter()
-                    .find(|o| matches!(o, Op::Load(a) if a.as_u64() % 64 != 0 && a.byte_in_word() == 0))
-                {
+                if let Some(Op::Load(seq_addr)) = tx.ops.iter().find(
+                    |o| matches!(o, Op::Load(a) if a.as_u64() % 64 != 0 && a.byte_in_word() == 0),
+                ) {
                     let _ = seq_addr;
                 }
             }
@@ -154,6 +162,10 @@ mod tests {
                 }
             }
         }
-        assert!(addrs.len() < 600, "working set {} shows recycling", addrs.len());
+        assert!(
+            addrs.len() < 600,
+            "working set {} shows recycling",
+            addrs.len()
+        );
     }
 }

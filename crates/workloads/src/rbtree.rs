@@ -109,7 +109,11 @@ impl RbTree {
         while cur != 0 {
             parent = cur;
             let k = self.get(ws, cur, KEY);
-            cur = if key < k { self.get(ws, cur, LEFT) } else { self.get(ws, cur, RIGHT) };
+            cur = if key < k {
+                self.get(ws, cur, LEFT)
+            } else {
+                self.get(ws, cur, RIGHT)
+            };
         }
         self.set(ws, node, PARENT, parent);
         if parent == 0 {
@@ -184,7 +188,11 @@ impl RbTree {
             if k == key {
                 return cur;
             }
-            cur = if key < k { self.get(ws, cur, LEFT) } else { self.get(ws, cur, RIGHT) };
+            cur = if key < k {
+                self.get(ws, cur, LEFT)
+            } else {
+                self.get(ws, cur, RIGHT)
+            };
         }
         0
     }
@@ -262,7 +270,11 @@ impl RbTree {
         let right = ws.peek(Addr::new(node + RIGHT));
         if self.color(ws, node) == RED {
             assert_eq!(self.color(ws, left), BLACK, "red node with red left child");
-            assert_eq!(self.color(ws, right), BLACK, "red node with red right child");
+            assert_eq!(
+                self.color(ws, right),
+                BLACK,
+                "red node with red right child"
+            );
         }
         self.assert_no_red_red(ws, left);
         self.assert_no_red_red(ws, right);
@@ -273,7 +285,10 @@ impl RbTree {
 pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
     let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(4));
     let root_p = ws.pmalloc(64);
-    let tree = RbTree { node_bytes: cfg.dataset.bytes(), root_p };
+    let tree = RbTree {
+        node_bytes: cfg.dataset.bytes(),
+        root_p,
+    };
     let key_space = 1 << 20;
     let mut live: Vec<u64> = Vec::new();
     for _ in 0..cfg.per_thread() {
@@ -303,7 +318,13 @@ mod tests {
     fn setup() -> (Workspace, RbTree) {
         let mut ws = Workspace::new(Addr::new(0x1000_0000), 0, 1);
         let root_p = ws.pmalloc(64);
-        (ws, RbTree { node_bytes: 64, root_p })
+        (
+            ws,
+            RbTree {
+                node_bytes: 64,
+                root_p,
+            },
+        )
     }
 
     #[test]
@@ -363,6 +384,9 @@ mod tests {
         let t = generate_thread(&cfg, 0);
         assert_eq!(t.transactions.len(), 200);
         let max_stores = t.transactions.iter().map(|tx| tx.stores()).max().unwrap();
-        assert!(max_stores >= 10, "rotations during fixup store many pointers");
+        assert!(
+            max_stores >= 10,
+            "rotations during fixup store many pointers"
+        );
     }
 }

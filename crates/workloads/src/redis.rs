@@ -75,7 +75,10 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
     let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(11));
     let entry_bytes = cfg.dataset.bytes();
     let value_words = ((entry_bytes - VALUE) / WORD_BYTES as u64).min(4);
-    let r = Redis { table: ws.pmalloc(BUCKETS * 8), lru_head_p: ws.pmalloc(64) };
+    let r = Redis {
+        table: ws.pmalloc(BUCKETS * 8),
+        lru_head_p: ws.pmalloc(64),
+    };
     let key_space: u64 = 4096;
 
     // Batched commands per durable transaction, like the other stores.
@@ -154,7 +157,10 @@ mod tests {
         // Even read-dominated batches contain stores (the Redis LRU churn).
         let t = generate_thread(&cfg(300), 0);
         let storeless = t.transactions.iter().filter(|tx| tx.stores() == 0).count();
-        assert!(storeless < 10, "almost no batch is store-free ({storeless})");
+        assert!(
+            storeless < 10,
+            "almost no batch is store-free ({storeless})"
+        );
     }
 
     #[test]
@@ -164,7 +170,10 @@ mod tests {
         let c = cfg(400);
         let mut ws = Workspace::new(c.data_base, 0, c.seed.wrapping_add(11));
         let entry_bytes = c.dataset.bytes();
-        let r = Redis { table: ws.pmalloc(BUCKETS * 8), lru_head_p: ws.pmalloc(64) };
+        let r = Redis {
+            table: ws.pmalloc(BUCKETS * 8),
+            lru_head_p: ws.pmalloc(64),
+        };
         ws.begin_tx();
         let mut rng = morlog_sim_core::DetRng::new(4);
         for _ in 0..500 {

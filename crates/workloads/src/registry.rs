@@ -75,7 +75,8 @@ impl WorkloadKind {
     ];
 
     /// The three macro-benchmarks (run with 4 threads).
-    pub const MACRO: [WorkloadKind; 3] = [WorkloadKind::Echo, WorkloadKind::Ycsb, WorkloadKind::Tpcc];
+    pub const MACRO: [WorkloadKind; 3] =
+        [WorkloadKind::Echo, WorkloadKind::Ycsb, WorkloadKind::Tpcc];
 
     /// All thirteen benchmarks: Table IV's nine plus the remaining Fig. 3/5
     /// profiling applications (vacation, ctree, redis, memcached).
@@ -195,7 +196,10 @@ pub fn generate(kind: WorkloadKind, cfg: &WorkloadConfig) -> WorkloadTrace {
             WorkloadKind::Memcached => crate::memcached::generate_thread(cfg, t),
         })
         .collect();
-    WorkloadTrace { name: kind.label().to_string(), threads }
+    WorkloadTrace {
+        name: kind.label().to_string(),
+        threads,
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,9 @@ mod tests {
     fn most_transactions_write_degree_twice_across_ops() {
         let t = generate_thread(&cfg(500), 0);
         let writing = t.transactions.iter().filter(|tx| tx.stores() == 2).count();
-        assert!(writing > 300, "most edge ops store slot + degree ({writing})");
+        assert!(
+            writing > 300,
+            "most edge ops store slot + degree ({writing})"
+        );
     }
 }

@@ -25,7 +25,10 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
     // setup, like the benchmark's populate phase).
     for e in 0..ENTRIES {
         for w in 0..words_per_entry {
-            ws.store(array.offset(e * entry_bytes + w * WORD_BYTES as u64), 0x0101_0101_0101_0101);
+            ws.store(
+                array.offset(e * entry_bytes + w * WORD_BYTES as u64),
+                0x0101_0101_0101_0101,
+            );
         }
     }
     // A tiny fraction of entries differ so swaps are not all no-ops.
@@ -112,6 +115,9 @@ mod tests {
                 }
             }
         }
-        assert!(same * 10 >= total * 8, "most stores rewrite the common value");
+        assert!(
+            same * 10 >= total * 8,
+            "most stores rewrite the common value"
+        );
     }
 }

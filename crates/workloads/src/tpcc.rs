@@ -7,8 +7,6 @@
 //! write distances of Fig. 3), and each line decrements a stock quantity
 //! (a one-byte-dirty update, feeding Fig. 5's clean-byte statistics).
 
-
-
 use crate::registry::WorkloadConfig;
 use crate::trace::ThreadTrace;
 use crate::workspace::Workspace;
@@ -29,7 +27,7 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
     let district = ws.pmalloc(64); // word 0: next_o_id, word 1: ytd
     let stock = ws.pmalloc(ITEMS * STOCK_BYTES);
     let customers = ws.pmalloc(CUSTOMERS * 64); // word 0: balance
-    // Populate stock quantities.
+                                                // Populate stock quantities.
     for i in 0..ITEMS {
         ws.store(stock.offset(i * STOCK_BYTES), 50 + (i % 41));
     }
@@ -56,7 +54,11 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
             // Stock decrement: usually a one-byte change.
             let s_addr = stock.offset(item * STOCK_BYTES);
             let s_qty = ws.load(s_addr);
-            let new_qty = if s_qty >= qty + 10 { s_qty - qty } else { s_qty + 91 - qty };
+            let new_qty = if s_qty >= qty + 10 {
+                s_qty - qty
+            } else {
+                s_qty + 91 - qty
+            };
             ws.store(s_addr, new_qty);
             let ytd = ws.load(s_addr.offset(8));
             ws.store(s_addr.offset(8), ytd + qty);
@@ -85,8 +87,8 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
 mod tests {
     use super::*;
     use crate::registry::{DatasetSize, WorkloadConfig};
-    use morlog_sim_core::Addr;
     use crate::trace::Op;
+    use morlog_sim_core::Addr;
 
     fn cfg(n: usize) -> WorkloadConfig {
         WorkloadConfig {
@@ -111,7 +113,10 @@ mod tests {
                 }
             }
             let max_rewrites = per_addr.values().copied().max().unwrap();
-            assert!((6..=16).contains(&max_rewrites), "total written per line: {max_rewrites}");
+            assert!(
+                (6..=16).contains(&max_rewrites),
+                "total written per line: {max_rewrites}"
+            );
         }
     }
 
@@ -126,8 +131,8 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        let mut expect = 2; // initialised to 1, first tx stores 2
-        for tx in &t.transactions {
+        // Initialised to 1, so the first transaction stores 2.
+        for (expect, tx) in (2..).zip(t.transactions.iter()) {
             let v = tx
                 .ops
                 .iter()
@@ -137,7 +142,6 @@ mod tests {
                 })
                 .unwrap();
             assert_eq!(v, expect);
-            expect += 1;
         }
     }
 

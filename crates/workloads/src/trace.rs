@@ -23,12 +23,18 @@ pub struct Transaction {
 impl Transaction {
     /// Number of stores in the transaction.
     pub fn stores(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, Op::Store(..))).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Store(..)))
+            .count()
     }
 
     /// Number of loads in the transaction.
     pub fn loads(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, Op::Load(..))).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Load(..)))
+            .count()
     }
 }
 
@@ -94,8 +100,14 @@ mod tests {
         let trace = WorkloadTrace {
             name: "t".into(),
             threads: vec![
-                ThreadTrace { transactions: vec![tx.clone()], initial: Vec::new() },
-                ThreadTrace { transactions: vec![tx.clone(), tx], initial: Vec::new() },
+                ThreadTrace {
+                    transactions: vec![tx.clone()],
+                    initial: Vec::new(),
+                },
+                ThreadTrace {
+                    transactions: vec![tx.clone(), tx],
+                    initial: Vec::new(),
+                },
             ],
         };
         assert_eq!(trace.total_transactions(), 3);

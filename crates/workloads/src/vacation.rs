@@ -25,9 +25,11 @@ const RSV_BYTES: u64 = 64;
 /// Generates one thread's vacation trace.
 pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
     let mut ws = Workspace::new(cfg.data_base, thread, cfg.seed.wrapping_add(9));
-    let tables: Vec<Addr> = (0..3).map(|_| ws.pmalloc(ROWS_PER_TABLE * ROW_BYTES)).collect();
+    let tables: Vec<Addr> = (0..3)
+        .map(|_| ws.pmalloc(ROWS_PER_TABLE * ROW_BYTES))
+        .collect();
     let customers = ws.pmalloc(CUSTOMERS * 64); // word 0 = bill, word 1 = list head
-    // Populate resource rows.
+                                                // Populate resource rows.
     for table in &tables {
         for r in 0..ROWS_PER_TABLE {
             ws.store(table.offset(r * ROW_BYTES), 100 + r % 17); // capacity
@@ -127,7 +129,10 @@ mod tests {
                 per_addr.values().any(|&n| n >= 2)
             })
             .count();
-        assert!(multi > 60, "multi-reservation bills repeat a word ({multi})");
+        assert!(
+            multi > 60,
+            "multi-reservation bills repeat a word ({multi})"
+        );
     }
 
     #[test]

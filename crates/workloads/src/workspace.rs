@@ -93,7 +93,9 @@ impl Workspace {
     pub fn end_tx(&mut self) {
         assert!(self.in_tx, "end_tx without begin_tx");
         self.in_tx = false;
-        self.transactions.push(Transaction { ops: std::mem::take(&mut self.ops) });
+        self.transactions.push(Transaction {
+            ops: std::mem::take(&mut self.ops),
+        });
     }
 
     /// Transactional 64-bit load (recorded in the trace).
@@ -158,7 +160,10 @@ impl Workspace {
     /// Panics if a transaction is still open.
     pub fn finish(self) -> ThreadTrace {
         assert!(!self.in_tx, "finish with an open transaction");
-        ThreadTrace { transactions: self.transactions, initial: self.initial }
+        ThreadTrace {
+            transactions: self.transactions,
+            initial: self.initial,
+        }
     }
 }
 

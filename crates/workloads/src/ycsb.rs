@@ -48,27 +48,27 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
     for _ in 0..cfg.per_thread() {
         ws.begin_tx();
         for _ in 0..OPS_PER_TX {
-        let r = skewed(ws.rng(), RECORDS);
-        let update = ws.rng().gen_bool(0.8);
-        if update {
-            // Rewrite 1-2 fields with a small delta: most bytes stay clean.
-            let nf = 1 + ws.rng().gen_range(2);
-            for _ in 0..nf {
-                let f = 1 + ws.rng().gen_range(fields - 1);
-                let addr = record(r).offset(f * 8);
-                let delta = 1 + ws.rng().gen_range(16);
-                let v = ws.load(addr);
-                ws.store(addr, v.wrapping_add(delta));
+            let r = skewed(ws.rng(), RECORDS);
+            let update = ws.rng().gen_bool(0.8);
+            if update {
+                // Rewrite 1-2 fields with a small delta: most bytes stay clean.
+                let nf = 1 + ws.rng().gen_range(2);
+                for _ in 0..nf {
+                    let f = 1 + ws.rng().gen_range(fields - 1);
+                    let addr = record(r).offset(f * 8);
+                    let delta = 1 + ws.rng().gen_range(16);
+                    let v = ws.load(addr);
+                    ws.store(addr, v.wrapping_add(delta));
+                }
+                let u = ws.load(updates_p);
+                ws.store(updates_p, u + 1);
+            } else {
+                // Read a handful of fields.
+                for f in 0..fields.min(4) {
+                    let _ = ws.load(record(r).offset(f * 8));
+                }
             }
-            let u = ws.load(updates_p);
-            ws.store(updates_p, u + 1);
-        } else {
-            // Read a handful of fields.
-            for f in 0..fields.min(4) {
-                let _ = ws.load(record(r).offset(f * 8));
-            }
-        }
-        ws.compute(6);
+            ws.compute(6);
         }
         ws.end_tx();
     }
@@ -79,8 +79,8 @@ pub fn generate_thread(cfg: &WorkloadConfig, thread: usize) -> ThreadTrace {
 mod tests {
     use super::*;
     use crate::registry::{DatasetSize, WorkloadConfig};
-    use morlog_sim_core::Addr;
     use crate::trace::Op;
+    use morlog_sim_core::Addr;
 
     fn cfg(n: usize) -> WorkloadConfig {
         WorkloadConfig {
@@ -97,9 +97,16 @@ mod tests {
         // 8 ops per batch, 80% updates, 1-2 field stores + 1 counter store
         // per update: expect roughly 8 × 0.8 × 2.5 = 16 stores per batch.
         let t = generate_thread(&cfg(500), 0);
-        let avg: f64 = t.transactions.iter().map(|tx| tx.stores() as f64).sum::<f64>()
+        let avg: f64 = t
+            .transactions
+            .iter()
+            .map(|tx| tx.stores() as f64)
+            .sum::<f64>()
             / t.transactions.len() as f64;
-        assert!((10.0..24.0).contains(&avg), "average stores per batch: {avg}");
+        assert!(
+            (10.0..24.0).contains(&avg),
+            "average stores per batch: {avg}"
+        );
         let reads: usize = t.transactions.iter().map(|tx| tx.loads()).sum();
         assert!(reads > 0);
     }
@@ -114,7 +121,10 @@ mod tests {
                 hot += 1;
             }
         }
-        assert!(hot as f64 / N as f64 > 0.3, "top 1/16 gets >30% of accesses ({hot})");
+        assert!(
+            hot as f64 / N as f64 > 0.3,
+            "top 1/16 gets >30% of accesses ({hot})"
+        );
     }
 
     #[test]

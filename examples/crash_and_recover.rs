@@ -30,8 +30,14 @@ fn main() {
         println!("{design}:");
         println!("  committed before crash: {committed_before}");
         println!("  log records scanned:    {}", report.records_scanned);
-        println!("  rolled forward:         {} transactions", report.redone.len());
-        println!("  rolled back:            {} transactions", report.undone.len());
+        println!(
+            "  rolled forward:         {} transactions",
+            report.redone.len()
+        );
+        println!(
+            "  rolled back:            {} transactions",
+            report.undone.len()
+        );
         match sys.verify_recovery(&report) {
             Ok(()) => println!("  atomic persistence:     VERIFIED\n"),
             Err(e) => println!("  atomic persistence:     VIOLATED — {e}\n"),

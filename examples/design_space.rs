@@ -10,7 +10,10 @@ use morlog_repro::sim::System;
 use morlog_repro::workloads::{generate, WorkloadConfig, WorkloadKind};
 
 fn main() {
-    let txs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_000);
+    let txs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000);
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "design", "tput", "writes", "energy", "log bits", "silent"

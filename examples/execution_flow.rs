@@ -26,15 +26,20 @@ fn main() {
     println!("  state Clean -> Dirty, undo+redo entry created (dirty flag {mask_a1:#04x})");
     let undo = slde.encode_log_word(&LogWordRequest::metadata(0));
     let redo = slde.encode_log_word(&LogWordRequest::with_mask(a1, mask_a1));
-    println!("  SLDE: undo word 0x0 -> FPC ({} bits); redo A1 -> {:?} ({} bits)",
-        undo.payload_bits, redo.choice, redo.payload_bits);
+    println!(
+        "  SLDE: undo word 0x0 -> FPC ({} bits); redo A1 -> {:?} ({} bits)",
+        undo.payload_bits, redo.choice, redo.payload_bits
+    );
 
     // Write B1: another first update; the undo+redo buffer evicts A's entry.
     let mask_b1 = dirty_byte_mask(0, b1);
     println!("\nst B, {b1:#018x}:");
     println!("  A's entry eagerly persists -> A's word becomes URLog");
     let redo_b = slde.encode_log_word(&LogWordRequest::with_mask(b1, mask_b1));
-    println!("  B's redo -> {:?} ({} bits)", redo_b.choice, redo_b.payload_bits);
+    println!(
+        "  B's redo -> {:?} ({} bits)",
+        redo_b.choice, redo_b.payload_bits
+    );
 
     // Write A2: second update to A -> ULog, redo buffered in the L1 line.
     let mask_a2 = dirty_byte_mask(a1, a2);

@@ -36,7 +36,10 @@ fn main() {
     let base_tput = base.tx_per_second(baseline_cfg.cores.frequency);
     let morlog_tput = morlog.tx_per_second(morlog_cfg.cores.frequency);
     println!("\n{:<22} {:>14} {:>14}", "", "FWB-CRADE", "MorLog-SLDE");
-    println!("{:<22} {:>14.0} {:>14.0}", "transactions/s", base_tput, morlog_tput);
+    println!(
+        "{:<22} {:>14.0} {:>14.0}",
+        "transactions/s", base_tput, morlog_tput
+    );
     println!(
         "{:<22} {:>14} {:>14}",
         "NVMM writes", base.mem.nvmm_writes, morlog.mem.nvmm_writes

@@ -124,7 +124,10 @@ fn large_dataset_runs_complete() {
     let trace = generate(WorkloadKind::Sps, &wl);
     let stats = System::new(cfg, &trace).run();
     assert_eq!(stats.transactions_committed, 20);
-    assert!(stats.tx_stores >= 20 * 1024, "4 KB entry swaps are 1024 stores each");
+    assert!(
+        stats.tx_stores >= 20 * 1024,
+        "4 KB entry swaps are 1024 stores each"
+    );
 }
 
 #[test]

@@ -1,12 +1,14 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: codecs are lossless, the bit stream is exact, the log ring
-//! and buffers preserve their structural invariants, and the DCW cost model
-//! is monotone in the obvious ways.
-
-use proptest::prelude::*;
+//! Randomized property tests on the core data structures and invariants:
+//! codecs are lossless, the bit stream is exact, the log ring and buffers
+//! preserve their structural invariants, and the DCW cost model is monotone
+//! in the obvious ways.
+//!
+//! These use the workspace's own deterministic `DetRng` (no external
+//! property-testing framework): each test draws a few thousand cases from a
+//! fixed seed, so failures are exactly reproducible.
 
 use morlog_repro::core::types::dirty_byte_mask;
-use morlog_repro::core::{Addr, LineData, ThreadId, TxId};
+use morlog_repro::core::{Addr, DetRng, LineData, ThreadId, TxId};
 use morlog_repro::encoding::bits::{BitReader, BitWriter};
 use morlog_repro::encoding::cell::{CellModel, CellState};
 use morlog_repro::encoding::dcw;
@@ -16,146 +18,223 @@ use morlog_repro::encoding::fpc;
 use morlog_repro::encoding::slde::{LogWordRequest, SldeCodec};
 use morlog_repro::nvm::log::{LogRecord, LogRegion};
 
-proptest! {
-    #[test]
-    fn fpc_round_trips_any_word(word in any::<u64>()) {
-        let enc = fpc::compress_word(word);
-        prop_assert_eq!(fpc::decompress_word(&enc), word);
-        prop_assert!(enc.total_bits() <= 67);
-    }
+const CASES: usize = 2_000;
 
-    #[test]
-    fn dldc_round_trips_any_update(old in any::<u64>(), new in any::<u64>()) {
+/// Draws a word from a mix of FPC-relevant shapes (small, sign-extended,
+/// sparse, random) so the encoders see their interesting classes.
+fn shaped_word(rng: &mut DetRng) -> u64 {
+    match rng.gen_range(4) {
+        0 => rng.gen_range(1 << 16),
+        1 => (rng.next_u64() as i32) as i64 as u64,
+        2 => rng.next_u64() & 0xFF00_FF00_FF00_FF00,
+        _ => rng.next_u64(),
+    }
+}
+
+#[test]
+fn fpc_round_trips_any_word() {
+    let mut rng = DetRng::new(0xF9C0);
+    for _ in 0..CASES {
+        let word = shaped_word(&mut rng);
+        let enc = fpc::compress_word(word);
+        assert_eq!(fpc::decompress_word(&enc), word);
+        assert!(enc.total_bits() <= 67);
+    }
+}
+
+#[test]
+fn dldc_round_trips_any_update() {
+    let mut rng = DetRng::new(0xD1DC);
+    for _ in 0..CASES {
+        let old = shaped_word(&mut rng);
+        // Bias towards few-byte diffs, plus occasional fully-random pairs.
+        let new = if rng.gen_bool(0.5) {
+            old ^ (rng.next_u64() & 0xFFFF)
+        } else {
+            shaped_word(&mut rng)
+        };
         let mask = dirty_byte_mask(old, new);
         match dldc::compress_dirty(new, mask) {
-            None => prop_assert_eq!(old, new, "only silent updates are None"),
+            None => assert_eq!(old, new, "only silent updates are None"),
             Some(enc) => {
-                prop_assert_eq!(dldc::decompress(&enc, old), new);
+                assert_eq!(dldc::decompress(&enc, old), new);
                 // DLDC never stores more than the raw dirty bytes plus tag.
-                prop_assert!(enc.total_bits() <= 3 + 8 * mask.count_ones());
+                assert!(enc.total_bits() <= 3 + 8 * mask.count_ones());
             }
         }
     }
+}
 
-    #[test]
-    fn dldc_recovers_over_either_old_or_new_base(old in any::<u64>(), new in any::<u64>()) {
-        // At recovery the in-place word may hold the old OR the new value;
-        // scattering dirty bytes over either must yield the new value.
+#[test]
+fn dldc_recovers_over_either_old_or_new_base() {
+    // At recovery the in-place word may hold the old OR the new value;
+    // scattering dirty bytes over either must yield the new value.
+    let mut rng = DetRng::new(0xD1DD);
+    for _ in 0..CASES {
+        let old = shaped_word(&mut rng);
+        let new = shaped_word(&mut rng);
         let mask = dirty_byte_mask(old, new);
         if let Some(enc) = dldc::compress_dirty(new, mask) {
-            prop_assert_eq!(dldc::decompress(&enc, old), new);
-            prop_assert_eq!(dldc::decompress(&enc, new), new);
+            assert_eq!(dldc::decompress(&enc, old), new);
+            assert_eq!(dldc::decompress(&enc, new), new);
         }
     }
+}
 
-    #[test]
-    fn bit_stream_round_trips(fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 1..50)) {
+#[test]
+fn bit_stream_round_trips() {
+    let mut rng = DetRng::new(0xB175);
+    for _ in 0..500 {
+        let n = 1 + rng.gen_range(49) as usize;
+        let mut fields = Vec::with_capacity(n);
+        for _ in 0..n {
+            let width = 1 + rng.gen_range(64) as u32;
+            let value = rng.next_u64();
+            let masked = if width == 64 {
+                value
+            } else {
+                value & ((1u64 << width) - 1)
+            };
+            fields.push((masked, width));
+        }
         let mut w = BitWriter::new();
-        let mut expect = Vec::new();
         for &(value, width) in &fields {
-            let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
-            w.push(masked, width);
-            expect.push((masked, width));
+            w.push(value, width);
         }
         let total: usize = fields.iter().map(|&(_, w)| w as usize).sum();
         let (words, bits) = w.finish();
-        prop_assert_eq!(bits, total);
+        assert_eq!(bits, total);
         let mut r = BitReader::new(&words, bits);
-        for (value, width) in expect {
-            prop_assert_eq!(r.pull(width), value);
+        for (value, width) in fields {
+            assert_eq!(r.pull(width), value);
         }
     }
+}
 
-    #[test]
-    fn expansion_round_trips(payload in proptest::collection::vec(any::<u64>(), 1..4),
-                             bits in 1usize..192) {
-        let bits = bits.min(payload.len() * 64);
+#[test]
+fn expansion_round_trips() {
+    let mut rng = DetRng::new(0xE9A);
+    for _ in 0..500 {
+        let len = 1 + rng.gen_range(3) as usize;
+        let payload: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+        let bits = (1 + rng.gen_range(191) as usize).min(payload.len() * 64);
         let mapped = map_payload(&payload, bits, 171);
         let out = unmap_payload(&mapped, bits);
         for idx in 0..bits {
-            prop_assert_eq!(
+            assert_eq!(
                 (payload[idx / 64] >> (idx % 64)) & 1,
-                (out[idx / 64] >> (idx % 64)) & 1
+                (out[idx / 64] >> (idx % 64)) & 1,
+                "bit {idx} of {bits}"
             );
         }
     }
+}
 
-    #[test]
-    fn data_block_codec_round_trips(words in proptest::collection::vec(any::<u64>(), 8)) {
+#[test]
+fn data_block_codec_round_trips() {
+    let codec = SldeCodec::new(CellModel::table_iii());
+    let mut rng = DetRng::new(0xDA7A);
+    for _ in 0..500 {
         let mut line = LineData::zeroed();
-        for (i, &w) in words.iter().enumerate() {
-            line.set_word(i, w);
+        for i in 0..8 {
+            line.set_word(i, shaped_word(&mut rng));
         }
-        let codec = SldeCodec::new(CellModel::table_iii());
         let region = codec.encode_data_block(&line);
-        prop_assert_eq!(codec.decode_data_block(&region), line);
+        assert_eq!(codec.decode_data_block(&region), line);
     }
+}
 
-    #[test]
-    fn log_entry_codec_round_trips(meta in proptest::collection::vec(any::<u64>(), 2),
-                                   old in any::<u64>(), new in any::<u64>()) {
-        prop_assume!(old != new);
-        let codec = SldeCodec::new(CellModel::table_iii());
+#[test]
+fn log_entry_codec_round_trips() {
+    let codec = SldeCodec::new(CellModel::table_iii());
+    let mut rng = DetRng::new(0x109E);
+    for _ in 0..500 {
+        let meta = vec![rng.next_u64(), rng.next_u64()];
+        let old = shaped_word(&mut rng);
+        let new = shaped_word(&mut rng);
+        if old == new {
+            continue;
+        }
         let data = [
             LogWordRequest::redo(old, new), // undo word
             LogWordRequest::redo(new, old), // redo word
         ];
         let region = codec.encode_log_entry(&meta, &data, 1, 96);
         let (m, d) = codec.decode_log_entry(&region, 2, &[true, true], &[new, old]);
-        prop_assert_eq!(m, meta);
-        prop_assert_eq!(d, vec![old, new]);
+        assert_eq!(m, meta);
+        assert_eq!(d, vec![old, new]);
     }
+}
 
-    #[test]
-    fn dcw_is_silent_iff_states_equal(states in proptest::collection::vec(0u8..8, 1..64)) {
-        let model = CellModel::table_iii();
-        let v: Vec<CellState> = states.iter().map(|&s| CellState::new(s)).collect();
+#[test]
+fn dcw_is_silent_iff_states_equal() {
+    let model = CellModel::table_iii();
+    let mut rng = DetRng::new(0xDC3);
+    for _ in 0..CASES {
+        let n = 1 + rng.gen_range(63) as usize;
+        let v: Vec<CellState> = (0..n)
+            .map(|_| CellState::new(rng.gen_range(8) as u8))
+            .collect();
         let cost = dcw::write_cost(&model, &v, &v, 3);
-        prop_assert!(cost.is_silent());
+        assert!(cost.is_silent());
         // Flip one cell: no longer silent, and exactly one cell programs.
-        if !v.is_empty() {
-            let mut v2 = v.clone();
-            let flipped = (v2[0].bits() + 1) % 8;
-            v2[0] = CellState::new(flipped);
-            let cost = dcw::write_cost(&model, &v, &v2, 3);
-            prop_assert_eq!(cost.cells_programmed, 1);
-            prop_assert!(!cost.is_silent());
-        }
+        let mut v2 = v.clone();
+        let flipped = (v2[0].bits() + 1) % 8;
+        v2[0] = CellState::new(flipped);
+        let cost = dcw::write_cost(&model, &v, &v2, 3);
+        assert_eq!(cost.cells_programmed, 1);
+        assert!(!cost.is_silent());
     }
+}
 
-    #[test]
-    fn dirty_mask_is_symmetric_and_zero_iff_equal(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(dirty_byte_mask(a, b), dirty_byte_mask(b, a));
-        prop_assert_eq!(dirty_byte_mask(a, b) == 0, a == b);
+#[test]
+fn dirty_mask_is_symmetric_and_zero_iff_equal() {
+    let mut rng = DetRng::new(0xD197);
+    for _ in 0..CASES {
+        let a = shaped_word(&mut rng);
+        let b = if rng.gen_bool(0.1) {
+            a
+        } else {
+            shaped_word(&mut rng)
+        };
+        assert_eq!(dirty_byte_mask(a, b), dirty_byte_mask(b, a));
+        assert_eq!(dirty_byte_mask(a, b) == 0, a == b);
     }
+}
 
-    #[test]
-    fn log_ring_preserves_fifo_and_capacity(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+#[test]
+fn log_ring_preserves_fifo_and_capacity() {
+    let mut rng = DetRng::new(0xF1F0);
+    for _ in 0..100 {
         let mut ring = LogRegion::new(Addr::new(0), 1024);
         let key = morlog_repro::core::ids::TxKey::new(ThreadId::new(0), TxId::new(0));
         let mut live: u64 = 0;
         let mut appended: u64 = 0;
-        for &do_append in &ops {
-            if do_append {
+        let ops = 1 + rng.gen_range(199) as usize;
+        for _ in 0..ops {
+            if rng.gen_bool(0.5) {
                 let rec = LogRecord::undo_redo(key, Addr::new(appended * 8), 0, 1, 0xFF);
                 if ring.append(rec).is_ok() {
                     live += 1;
                     appended += 1;
                 }
             } else {
-                let cut = ring.records().next().map(|f| f.offset + f.record.kind.slot_bytes());
+                let cut = ring
+                    .records()
+                    .next()
+                    .map(|f| f.offset + f.record.kind.slot_bytes());
                 if let Some(cut) = cut {
                     ring.truncate_to(cut);
                     live -= 1;
                 }
             }
-            prop_assert_eq!(ring.records().count() as u64, live);
-            prop_assert!(ring.used_bytes() <= ring.capacity());
+            assert_eq!(ring.records().count() as u64, live);
+            assert!(ring.used_bytes() <= ring.capacity());
             // Records remain in append order.
             let offs: Vec<u64> = ring.records().map(|r| r.seq).collect();
             let mut sorted = offs.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(offs, sorted);
+            assert_eq!(offs, sorted);
         }
     }
 }
@@ -167,39 +246,51 @@ mod cache_props {
     use morlog_repro::core::CacheLevelConfig;
     use morlog_repro::core::LineAddr;
 
-    proptest! {
-        /// LRU cache invariants under arbitrary access/insert/remove
-        /// sequences: occupancy never exceeds sets × ways, a just-inserted
-        /// line is resident, and a removed line is gone.
-        #[test]
-        fn cache_structural_invariants(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..300)) {
-            let cfg = CacheLevelConfig { capacity_bytes: 16 * 64, ways: 2, latency_cycles: 1 };
+    /// LRU cache invariants under arbitrary access/insert/remove sequences:
+    /// occupancy never exceeds sets × ways, a just-inserted line is
+    /// resident, and a removed line is gone.
+    #[test]
+    fn cache_structural_invariants() {
+        let mut rng = DetRng::new(0xCAC4E);
+        for _ in 0..50 {
+            let cfg = CacheLevelConfig {
+                capacity_bytes: 16 * 64,
+                ways: 2,
+                latency_cycles: 1,
+            };
             let mut c = Cache::new(cfg);
             let capacity = cfg.sets() * cfg.ways;
-            for (op, idx) in ops {
-                let addr = LineAddr::from_index(idx);
-                match op {
+            let ops = 1 + rng.gen_range(299) as usize;
+            for _ in 0..ops {
+                let addr = LineAddr::from_index(rng.gen_range(64));
+                match rng.gen_range(3) {
                     0 => {
                         c.insert(CacheLine::clean(addr, LineData::zeroed()));
-                        prop_assert!(c.contains(addr), "inserted line resident");
+                        assert!(c.contains(addr), "inserted line resident");
                     }
                     1 => {
                         let _ = c.get_mut(addr);
                     }
                     _ => {
                         c.remove(addr);
-                        prop_assert!(!c.contains(addr), "removed line gone");
+                        assert!(!c.contains(addr), "removed line gone");
                     }
                 }
-                prop_assert!(c.len() <= capacity, "occupancy bounded");
+                assert!(c.len() <= capacity, "occupancy bounded");
             }
         }
+    }
 
-        /// A line inserted and then re-accessed any number of times (< ways)
-        /// within its set is never evicted (LRU keeps the MRU line).
-        #[test]
-        fn mru_line_survives_one_conflict(fill in 0u64..8) {
-            let cfg = CacheLevelConfig { capacity_bytes: 4 * 64, ways: 2, latency_cycles: 1 };
+    /// A line inserted and then re-accessed any number of times (< ways)
+    /// within its set is never evicted (LRU keeps the MRU line).
+    #[test]
+    fn mru_line_survives_one_conflict() {
+        for fill in 0u64..8 {
+            let cfg = CacheLevelConfig {
+                capacity_bytes: 4 * 64,
+                ways: 2,
+                latency_cycles: 1,
+            };
             let mut c = Cache::new(cfg); // 2 sets x 2 ways
             let hot = LineAddr::from_index(0);
             c.insert(CacheLine::clean(hot, LineData::zeroed()));
@@ -207,20 +298,21 @@ mod cache_props {
             let other = LineAddr::from_index(2 + 2 * (fill % 4));
             c.get_mut(hot);
             c.insert(CacheLine::clean(other, LineData::zeroed()));
-            prop_assert!(c.contains(hot));
+            assert!(c.contains(hot));
         }
     }
 }
 
 mod id_props {
     use super::*;
-    use morlog_repro::core::TxId;
 
-    proptest! {
-        /// TxId::next wraps like a 16-bit hardware counter.
-        #[test]
-        fn txid_next_is_wrapping_increment(raw in any::<u16>()) {
-            prop_assert_eq!(TxId::new(raw).next(), TxId::new(raw.wrapping_add(1)));
+    /// TxId::next wraps like a 16-bit hardware counter.
+    #[test]
+    fn txid_next_is_wrapping_increment() {
+        let mut rng = DetRng::new(0x771D);
+        for _ in 0..CASES {
+            let raw = rng.next_u64() as u16;
+            assert_eq!(TxId::new(raw).next(), TxId::new(raw.wrapping_add(1)));
         }
     }
 }

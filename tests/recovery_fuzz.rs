@@ -46,17 +46,41 @@ fn randomized_crash_points_hold_atomicity() {
 #[test]
 fn double_crash_during_recovery_is_idempotent() {
     // Recovery itself can be interrupted; re-running it from the already
-    // recovered state (log cleared) must change nothing.
-    let cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
-    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
-    wl.total_transactions = 60;
-    let trace = generate(WorkloadKind::Tpcc, &wl);
-    let mut sys = System::new(cfg, &trace);
-    sys.run_for(20_000);
-    sys.crash();
-    let report1 = sys.recover();
-    sys.verify_recovery(&report1).unwrap();
-    let report2 = sys.recover();
-    assert_eq!(report2.records_scanned, 0, "log was truncated by recovery");
-    sys.verify_recovery(&report1).unwrap();
+    // recovered state (log cleared) must change nothing — for every design
+    // that guarantees atomic persistence and across workload shapes.
+    let designs = [
+        DesignKind::FwbCrade,
+        DesignKind::FwbSlde,
+        DesignKind::MorLogCrade,
+        DesignKind::MorLogSlde,
+        DesignKind::MorLogDp,
+    ];
+    let kinds = [
+        WorkloadKind::Tpcc,
+        WorkloadKind::Hash,
+        WorkloadKind::Queue,
+        WorkloadKind::BTree,
+    ];
+    for (i, design) in designs.iter().enumerate() {
+        for (j, &kind) in kinds.iter().enumerate() {
+            let cfg = SystemConfig::for_design(*design);
+            let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
+            wl.total_transactions = 60;
+            wl.seed = (i * kinds.len() + j) as u64 + 1;
+            let trace = generate(kind, &wl);
+            let mut sys = System::new(cfg, &trace);
+            sys.run_for(14_000 + (i as u64) * 2_000 + (j as u64) * 500);
+            sys.crash();
+            let report1 = sys.recover();
+            sys.verify_recovery(&report1)
+                .unwrap_or_else(|e| panic!("{design}/{kind}: first recovery: {e}"));
+            let report2 = sys.recover();
+            assert_eq!(
+                report2.records_scanned, 0,
+                "{design}/{kind}: log was truncated by recovery"
+            );
+            sys.verify_recovery(&report1)
+                .unwrap_or_else(|e| panic!("{design}/{kind}: second recovery diverged: {e}"));
+        }
+    }
 }
