@@ -3,32 +3,25 @@
 //! 1. secure NVMM (§IV-D): SLDE under plaintext / DEUCE / full encryption;
 //! 2. the redo-discard-on-LLC-eviction rule (§III-B) on vs off;
 //! 3. the eager-eviction window N of the undo+redo buffer;
-//! 4. the force-write-back period (§III-F).
+//! 4. the force-write-back period (§III-F);
+//! 5. centralized vs distributed logs (§III-F).
+//!
+//! Each section is a small sweep; all parameters are captured by tweak
+//! closures so the runs are self-contained under a parallel sweep.
+use morlog_bench::results::ResultSink;
+use morlog_bench::{RunSpec, SweepRunner, TimedRun};
 use morlog_encoding::secure::SecureMode;
-use morlog_sim::System;
-use morlog_sim_core::{DesignKind, SystemConfig};
-use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+use morlog_sim_core::DesignKind;
+use morlog_workloads::WorkloadKind;
 
 fn txs() -> usize {
     morlog_bench::scaled_txs(1_500)
 }
 
-fn run_with(
-    design: DesignKind,
-    kind: WorkloadKind,
-    secure: SecureMode,
-    tweak: impl Fn(&mut SystemConfig),
-) -> morlog_sim_core::SimStats {
-    let mut cfg = SystemConfig::for_design(design);
-    tweak(&mut cfg);
-    let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
-    wl.threads = kind.default_threads().min(cfg.cores.cores);
-    wl.total_transactions = txs();
-    let trace = generate(kind, &wl);
-    System::with_options(cfg, &trace, true, secure).run()
-}
-
 fn main() {
+    let runner = SweepRunner::from_env();
+    let mut sink = ResultSink::new("ablations", runner.jobs());
+
     // FWB-SLDE on SPS: the workload whose log data are mostly clean, so the
     // word-granularity re-encryption of DEUCE (silent words keep their
     // ciphertext, silent discarding still works) separates from whole-line
@@ -41,12 +34,16 @@ fn main() {
         "{:<18} {:>12} {:>14} {:>12}",
         "mode", "log bits", "write energy", "silent"
     );
-    let mut base_bits = 0u64;
-    for mode in [SecureMode::None, SecureMode::Deuce, SecureMode::Full] {
-        let s = run_with(DesignKind::FwbSlde, WorkloadKind::Sps, mode, |_| {});
-        if mode == SecureMode::None {
-            base_bits = s.mem.log_bits_programmed;
-        }
+    let modes = [SecureMode::None, SecureMode::Deuce, SecureMode::Full];
+    let specs: Vec<RunSpec> = modes
+        .iter()
+        .map(|&mode| RunSpec::new(DesignKind::FwbSlde, WorkloadKind::Sps, txs()).secure(mode))
+        .collect();
+    let runs: Vec<TimedRun> = runner.run_specs(&specs);
+    sink.push_runs(&runs);
+    let base_bits = runs[0].report.stats.mem.log_bits_programmed;
+    for (mode, t) in modes.iter().zip(&runs) {
+        let s = &t.report.stats;
         println!(
             "{:<18} {:>11.3}x {:>13.3}uJ {:>12}",
             mode.label(),
@@ -58,20 +55,24 @@ fn main() {
     println!("(paper §IV-D: with DEUCE-style schemes SLDE still avoids logging clean data)\n");
 
     println!("Ablation 2 — redo discard on LLC eviction (§III-B), MorLog-SLDE on Echo");
-    for (label, on) in [("discard on", true), ("discard off", false)] {
-        let s = run_with(
-            DesignKind::MorLogSlde,
-            WorkloadKind::Echo,
-            SecureMode::None,
-            |c| {
+    let cases = [("discard on", true), ("discard off", false)];
+    let specs: Vec<RunSpec> = cases
+        .iter()
+        .map(|&(_, on)| {
+            RunSpec::new(DesignKind::MorLogSlde, WorkloadKind::Echo, txs()).tweak(move |c| {
                 c.log.discard_redo_on_llc_evict = on;
                 // A small LLC forces evictions mid-transaction, the case the
                 // discard rule exists for.
                 c.hierarchy.l3.capacity_bytes = 64 * 1024;
                 c.hierarchy.l2.capacity_bytes = 16 * 1024;
                 c.hierarchy.l1.capacity_bytes = 8 * 1024;
-            },
-        );
+            })
+        })
+        .collect();
+    let runs = runner.run_specs(&specs);
+    sink.push_runs(&runs);
+    for ((label, _), t) in cases.iter().zip(&runs) {
+        let s = &t.report.stats;
         println!(
             "  {:<12} NVMM writes {:>8}  redo discarded {:>6}  cycles {:>10}",
             label, s.mem.nvmm_writes, s.log.redo_discarded, s.cycles
@@ -80,15 +81,18 @@ fn main() {
     println!();
 
     println!("Ablation 3 — eager-eviction window N (must stay < 40-cycle traversal)");
-    for n in [4u64, 8, 16, 32] {
-        let s = run_with(
-            DesignKind::MorLogSlde,
-            WorkloadKind::Tpcc,
-            SecureMode::None,
-            |c| {
-                c.log.eager_evict_cycles = n;
-            },
-        );
+    let windows = [4u64, 8, 16, 32];
+    let specs: Vec<RunSpec> = windows
+        .iter()
+        .map(|&n| {
+            RunSpec::new(DesignKind::MorLogSlde, WorkloadKind::Tpcc, txs())
+                .tweak(move |c| c.log.eager_evict_cycles = n)
+        })
+        .collect();
+    let runs = runner.run_specs(&specs);
+    sink.push_runs(&runs);
+    for (n, t) in windows.iter().zip(&runs) {
+        let s = &t.report.stats;
         println!(
             "  N={:<3} entries {:>8}  coalesced {:>7}  cycles {:>10}",
             n, s.log.entries_written, s.log.coalesced, s.cycles
@@ -97,15 +101,18 @@ fn main() {
     println!();
 
     println!("Ablation 4 — force-write-back period (§III-F)");
-    for period in [20_000u64, 60_000, 300_000] {
-        let s = run_with(
-            DesignKind::MorLogSlde,
-            WorkloadKind::Ycsb,
-            SecureMode::None,
-            |c| {
-                c.hierarchy.force_write_back_period = period;
-            },
-        );
+    let periods = [20_000u64, 60_000, 300_000];
+    let specs: Vec<RunSpec> = periods
+        .iter()
+        .map(|&period| {
+            RunSpec::new(DesignKind::MorLogSlde, WorkloadKind::Ycsb, txs())
+                .tweak(move |c| c.hierarchy.force_write_back_period = period)
+        })
+        .collect();
+    let runs = runner.run_specs(&specs);
+    sink.push_runs(&runs);
+    for (period, t) in periods.iter().zip(&runs) {
+        let s = &t.report.stats;
         println!(
             "  period={:<9} data writes {:>8}  cycles {:>10}",
             period, s.mem.data_writes, s.cycles
@@ -114,20 +121,23 @@ fn main() {
     println!();
 
     println!("Ablation 5 — centralized vs distributed logs (§III-F), MorLog-DP on TPCC");
-    for slices in [1usize, 4, 16] {
-        std::env::set_var("MORLOG_SLICES", slices.to_string());
-        let s = run_with(
-            DesignKind::MorLogDp,
-            WorkloadKind::Tpcc,
-            SecureMode::None,
-            |c| {
-                c.mem.log_slices = std::env::var("MORLOG_SLICES").unwrap().parse().unwrap();
-            },
-        );
+    let slice_counts = [1usize, 4, 16];
+    let specs: Vec<RunSpec> = slice_counts
+        .iter()
+        .map(|&slices| {
+            RunSpec::new(DesignKind::MorLogDp, WorkloadKind::Tpcc, txs())
+                .tweak(move |c| c.mem.log_slices = slices)
+        })
+        .collect();
+    let runs = runner.run_specs(&specs);
+    sink.push_runs(&runs);
+    for (slices, t) in slice_counts.iter().zip(&runs) {
+        let s = &t.report.stats;
         println!(
             "  slices={:<3} cycles {:>10}  entries {:>8}  commit records {:>6}",
             slices, s.cycles, s.log.entries_written, s.log.commit_records
         );
     }
     println!("(per-thread logs localize appends; commit order rides in the timestamps)");
+    sink.finish();
 }

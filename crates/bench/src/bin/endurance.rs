@@ -1,17 +1,32 @@
 //! Endurance view (§VI-C): hottest data line and log slot per design —
 //! reducing log writes improves lifetime, and the ring levels log wear.
+use morlog_bench::json::Json;
+use morlog_bench::results::{stats_json, ResultSink};
+use morlog_bench::SweepRunner;
 use morlog_sim::System;
-use morlog_sim_core::{DesignKind, SystemConfig};
-use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+use morlog_sim_core::{DesignKind, SimStats, SystemConfig};
+use morlog_workloads::{cached_generate, WorkloadConfig, WorkloadKind};
+
+struct Row {
+    design: DesignKind,
+    stats: SimStats,
+    max_data: u64,
+    max_log: u64,
+    locations: usize,
+}
 
 fn main() {
     let txs = morlog_bench::scaled_txs(1_500);
+    let runner = SweepRunner::from_env();
+    let mut sink = ResultSink::new("endurance", runner.jobs());
     println!("Endurance — max per-location program counts (Queue, {txs} txs)");
     println!(
         "{:<14} {:>14} {:>14} {:>12} {:>10} {:>8}",
         "design", "max data line", "max log slot", "locations", "log writes", "growths"
     );
-    for design in DesignKind::ALL {
+    // Needs `wear_summary` off the finished system, so this sweep maps the
+    // raw simulation closure instead of going through `run_specs`.
+    let rows = runner.map(&DesignKind::ALL, |&design| {
         let mut cfg = SystemConfig::for_design(design);
         // Frequent scans persist data (data-line wear becomes visible) and
         // a small ring forces slot reuse (log wear leveling becomes
@@ -24,21 +39,39 @@ fn main() {
         let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
         wl.threads = 4;
         wl.total_transactions = txs;
-        let trace = generate(WorkloadKind::Queue, &wl);
+        let trace = cached_generate(WorkloadKind::Queue, &wl);
         let mut sys = System::new(cfg, &trace);
         let stats = sys.run();
         let (max_data, max_log, locations) = sys.memory().wear_summary();
-        println!(
-            "{:<14} {:>14} {:>14} {:>12} {:>10} {:>8}",
-            design.label(),
+        Row {
+            design,
+            stats,
             max_data,
             max_log,
             locations,
-            stats.mem.log_writes,
-            stats.mem.log_overflow_growths
+        }
+    });
+    for row in &rows {
+        println!(
+            "{:<14} {:>14} {:>14} {:>12} {:>10} {:>8}",
+            row.design.label(),
+            row.max_data,
+            row.max_log,
+            row.locations,
+            row.stats.mem.log_writes,
+            row.stats.mem.log_overflow_growths
         );
+        sink.push(Json::obj(vec![
+            ("kind", Json::Str("endurance".into())),
+            ("design", Json::Str(row.design.label().into())),
+            ("max_data_line_programs", Json::UInt(row.max_data)),
+            ("max_log_slot_programs", Json::UInt(row.max_log)),
+            ("locations", Json::UInt(row.locations as u64)),
+            ("stats", stats_json(&row.stats)),
+        ]));
     }
     println!("\nSLDE designs touch fewer log locations for the same work: fewer writes");
     println!("means longer lifetime (§VI-C). The ring appends sequentially, so log wear");
     println!("is level by construction (max slot count stays minimal even under reuse).");
+    sink.finish();
 }

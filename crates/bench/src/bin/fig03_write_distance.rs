@@ -1,12 +1,16 @@
 //! Fig. 3: distribution of write distance for writes in transactions.
 use morlog_analysis::write_distance::{DistanceBucket, WriteDistanceHistogram};
-use morlog_bench::scaled_txs;
+use morlog_bench::json::Json;
+use morlog_bench::results::ResultSink;
+use morlog_bench::{scaled_txs, SweepRunner};
 use morlog_sim::System;
 use morlog_sim_core::{DesignKind, SystemConfig};
-use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+use morlog_workloads::{cached_generate, WorkloadConfig, WorkloadKind};
 
 fn main() {
     let txs = scaled_txs(2_000);
+    let runner = SweepRunner::from_env();
+    let mut sink = ResultSink::new("fig03_write_distance", runner.jobs());
     println!("Fig. 3 — write-distance distribution ({txs} transactions per workload)");
     print!("{:<10}", "workload");
     for b in DistanceBucket::ALL {
@@ -14,26 +18,40 @@ fn main() {
     }
     println!(" {:>8} {:>8}", ">31(nf)", "repeat");
     let cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
-    for kind in WorkloadKind::ALL {
+    let data_base = System::data_base(&cfg);
+    let histograms = runner.map(&WorkloadKind::ALL, |&kind| {
         let wl = WorkloadConfig {
             threads: kind.default_threads(),
             total_transactions: txs,
             dataset: morlog_workloads::DatasetSize::Small,
             seed: 42,
-            data_base: System::data_base(&cfg),
+            data_base,
         };
-        let trace = generate(kind, &wl);
-        let h = WriteDistanceHistogram::profile(&trace);
+        let trace = cached_generate(kind, &wl);
+        WriteDistanceHistogram::profile(&trace)
+    });
+    for (kind, h) in WorkloadKind::ALL.iter().zip(&histograms) {
         print!("{:<10}", kind.label());
+        let mut buckets = Vec::new();
         for b in DistanceBucket::ALL {
             print!(" {:>10.1}%", h.fraction(b) * 100.0);
+            buckets.push((b.label(), Json::Num(h.fraction(b))));
         }
         println!(
             " {:>7.1}% {:>7.1}%",
             h.fraction_beyond_31() * 100.0,
             h.fraction_repeat() * 100.0
         );
+        sink.push(Json::obj(vec![
+            ("kind", Json::Str("write_distance".into())),
+            ("workload", Json::Str(kind.label().into())),
+            ("transactions", Json::UInt(txs as u64)),
+            ("buckets", Json::obj(buckets)),
+            ("beyond_31_fraction", Json::Num(h.fraction_beyond_31())),
+            ("repeat_fraction", Json::Num(h.fraction_repeat())),
+        ]));
     }
     println!("\npaper: 44.8% of non-first writes have distance > 31; 83.1% of data");
     println!("are updated more than once in a transaction (WHISPER apps under PIN).");
+    sink.finish();
 }

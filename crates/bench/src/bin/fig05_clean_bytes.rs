@@ -1,29 +1,36 @@
 //! Fig. 5: percentage of clean bytes among the data updated by transactions.
 use morlog_analysis::clean_bytes::CleanByteStats;
-use morlog_bench::scaled_txs;
+use morlog_bench::json::Json;
+use morlog_bench::results::ResultSink;
+use morlog_bench::{scaled_txs, SweepRunner};
 use morlog_sim::System;
 use morlog_sim_core::{DesignKind, SystemConfig};
-use morlog_workloads::{generate, WorkloadConfig, WorkloadKind};
+use morlog_workloads::{cached_generate, WorkloadConfig, WorkloadKind};
 
 fn main() {
     let txs = scaled_txs(2_000);
+    let runner = SweepRunner::from_env();
+    let mut sink = ResultSink::new("fig05_clean_bytes", runner.jobs());
     println!("Fig. 5 — clean bytes among updated data ({txs} transactions per workload)");
     println!(
         "{:<10} {:>12} {:>14}",
         "workload", "clean bytes", "silent stores"
     );
     let cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
-    let mut fractions = Vec::new();
-    for kind in WorkloadKind::ALL {
+    let data_base = System::data_base(&cfg);
+    let profiles = runner.map(&WorkloadKind::ALL, |&kind| {
         let wl = WorkloadConfig {
             threads: kind.default_threads(),
             total_transactions: txs,
             dataset: morlog_workloads::DatasetSize::Small,
             seed: 42,
-            data_base: System::data_base(&cfg),
+            data_base,
         };
-        let trace = generate(kind, &wl);
-        let s = CleanByteStats::profile(&trace);
+        let trace = cached_generate(kind, &wl);
+        CleanByteStats::profile(&trace)
+    });
+    let mut fractions = Vec::new();
+    for (kind, s) in WorkloadKind::ALL.iter().zip(&profiles) {
         fractions.push(s.clean_fraction());
         println!(
             "{:<10} {:>11.1}% {:>13.1}%",
@@ -31,8 +38,16 @@ fn main() {
             s.clean_fraction() * 100.0,
             s.silent_fraction() * 100.0
         );
+        sink.push(Json::obj(vec![
+            ("kind", Json::Str("clean_bytes".into())),
+            ("workload", Json::Str(kind.label().into())),
+            ("transactions", Json::UInt(txs as u64)),
+            ("clean_fraction", Json::Num(s.clean_fraction())),
+            ("silent_fraction", Json::Num(s.silent_fraction())),
+        ]));
     }
     let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
     println!("{:<10} {:>11.1}%", "average", avg * 100.0);
     println!("\npaper: 70.5% of bytes among the data updated by transactions are clean.");
+    sink.finish();
 }

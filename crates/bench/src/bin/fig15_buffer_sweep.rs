@@ -1,6 +1,7 @@
 //! Fig. 15: transaction throughput and NVMM write traffic vs the undo+redo
 //! buffer size, for several redo-buffer sizes (Echo benchmark).
-use morlog_bench::{run, scaled_txs, RunSpec};
+use morlog_bench::results::ResultSink;
+use morlog_bench::{scaled_txs, RunSpec, SweepRunner};
 use morlog_sim_core::DesignKind;
 use morlog_workloads::WorkloadKind;
 
@@ -8,26 +9,36 @@ fn main() {
     let txs = scaled_txs(1_500);
     let ur_sizes = [1usize, 2, 4, 8, 16, 32, 64, 128];
     let redo_sizes = [2usize, 8, 32, 128];
+    let runner = SweepRunner::from_env();
+    let mut sink = ResultSink::new("fig15_buffer_sweep", runner.jobs());
     println!("Fig. 15 — MorLog-SLDE on Echo vs log buffer sizes ({txs} transactions)");
     println!("normalized to Redo002 with a 1-entry undo+redo buffer\n");
+    // Buffer sizes are captured by the tweak closures — no environment
+    // round-trip, so sweep points are self-contained and can run on any
+    // worker thread.
+    let specs: Vec<RunSpec> = redo_sizes
+        .iter()
+        .flat_map(|&redo| {
+            ur_sizes.iter().map(move |&ur| {
+                RunSpec::new(DesignKind::MorLogSlde, WorkloadKind::Echo, txs).tweak(move |cfg| {
+                    cfg.log.undo_redo_entries = ur;
+                    cfg.log.redo_entries = redo;
+                })
+            })
+        })
+        .collect();
+    let runs = runner.run_specs(&specs);
+    sink.push_runs(&runs);
     let mut results: Vec<(usize, usize, f64, u64)> = Vec::new();
-    for &redo in &redo_sizes {
-        for &ur in &ur_sizes {
-            // Buffer sizes are plumbed through an environment override read
-            // by the tweak (fn pointers cannot capture).
-            std::env::set_var("MORLOG_UR_ENTRIES", ur.to_string());
-            std::env::set_var("MORLOG_REDO_ENTRIES", redo.to_string());
-            let spec = RunSpec::new(DesignKind::MorLogSlde, WorkloadKind::Echo, txs).tweak(|cfg| {
-                cfg.log.undo_redo_entries =
-                    std::env::var("MORLOG_UR_ENTRIES").unwrap().parse().unwrap();
-                cfg.log.redo_entries = std::env::var("MORLOG_REDO_ENTRIES")
-                    .unwrap()
-                    .parse()
-                    .unwrap();
-            });
-            let r = run(&spec);
-            results.push((redo, ur, r.throughput(), r.stats.mem.nvmm_writes));
-        }
+    for (i, t) in runs.iter().enumerate() {
+        let redo = redo_sizes[i / ur_sizes.len()];
+        let ur = ur_sizes[i % ur_sizes.len()];
+        results.push((
+            redo,
+            ur,
+            t.report.throughput(),
+            t.report.stats.mem.nvmm_writes,
+        ));
     }
     let (base_tput, base_writes) = {
         let r = results
@@ -73,4 +84,5 @@ fn main() {
     println!("\npaper: write traffic falls as the undo+redo buffer grows; throughput rises");
     println!("then drops (longer commit latency); 16-entry undo+redo + 32-entry redo is the");
     println!("chosen performance/hardware-cost trade-off.");
+    sink.finish();
 }

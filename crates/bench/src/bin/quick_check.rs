@@ -1,7 +1,8 @@
 //! Quick sanity harness: per-design throughput/traffic/energy on one workload.
-use morlog_sim::System;
-use morlog_sim_core::{DesignKind, SystemConfig};
-use morlog_workloads::{generate, DatasetSize, WorkloadConfig, WorkloadKind};
+use morlog_bench::results::ResultSink;
+use morlog_bench::{RunSpec, SweepRunner};
+use morlog_sim_core::DesignKind;
+use morlog_workloads::WorkloadKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -16,33 +17,27 @@ fn main() {
         _ => WorkloadKind::Hash,
     };
     let large = args.get(3).map(|s| s == "large").unwrap_or(false);
-    let mut base_tput = 0.0;
-    let mut base_writes = 0u64;
-    let mut base_energy = 0.0;
-    for design in DesignKind::ALL {
-        let cfg = SystemConfig::for_design(design);
-        let mut wl = WorkloadConfig::test_config(System::data_base(&cfg));
-        wl.threads = kind.default_threads();
-        wl.total_transactions = txs;
-        wl.dataset = if large {
-            DatasetSize::Large
+    let runner = SweepRunner::from_env();
+    let mut sink = ResultSink::new("quick_check", runner.jobs());
+    let base = {
+        let spec = RunSpec::new(DesignKind::FwbCrade, kind, txs);
+        if large {
+            spec.large()
         } else {
-            DatasetSize::Small
-        };
-        let trace = generate(kind, &wl);
-        let t0 = std::time::Instant::now();
-        let mut sys = System::new(cfg.clone(), &trace);
-        let stats = sys.run();
-        let tput = stats.tx_per_second(cfg.cores.frequency);
-        if design == DesignKind::FwbCrade {
-            base_tput = tput;
-            base_writes = stats.mem.nvmm_writes;
-            base_energy = stats.mem.write_energy_pj;
+            spec
         }
+    };
+    let runs = runner.run_designs(&base);
+    sink.push_runs(&runs);
+    let base_tput = runs[0].report.throughput();
+    let base_writes = runs[0].report.stats.mem.nvmm_writes;
+    let base_energy = runs[0].report.stats.mem.write_energy_pj;
+    for t in &runs {
+        let stats = &t.report.stats;
         println!(
             "{:14} tput {:>8.3}x writes {:>6.3}x energy {:>6.3}x | cycles {:>10} entries {:>7} redo_cr {:>6} postc {:>6} coalesced {:>6} redo_disc {:>6} commit_stall {:>9} buf_stall {:>8} [{:?} host]",
-            design.label(),
-            tput / base_tput,
+            t.report.design.label(),
+            t.report.throughput() / base_tput,
             stats.mem.nvmm_writes as f64 / base_writes as f64,
             stats.mem.write_energy_pj / base_energy,
             stats.cycles,
@@ -53,7 +48,8 @@ fn main() {
             stats.log.redo_discarded,
             stats.log.commit_stall_cycles,
             stats.log.buffer_full_stall_cycles,
-            t0.elapsed(),
+            t.wall,
         );
     }
+    sink.finish();
 }

@@ -1,10 +1,15 @@
 //! Table I: hardware overhead of morphable logging, plus the §IV-C SLDE
 //! overhead arithmetic.
+use morlog_bench::json::Json;
+use morlog_bench::results::ResultSink;
 use morlog_encoding::overhead as slde;
 use morlog_logging::overhead::HardwareOverhead;
 use morlog_sim_core::LogConfig;
 
 fn main() {
+    // Pure arithmetic — nothing to sweep, but the numbers still land in
+    // results/ alongside every other binary's records.
+    let mut sink = ResultSink::new("tab01_overhead", 1);
     let o = HardwareOverhead::for_config(&LogConfig::default(), 16);
     println!("Table I — hardware overhead of morphable logging");
     println!("{:<28} {:>6} {:>18}", "component", "type", "size");
@@ -38,6 +43,26 @@ fn main() {
         "FF",
         format!("{} bytes", o.ulog_counters_bytes)
     );
+    sink.push(Json::obj(vec![
+        ("kind", Json::Str("hardware_overhead".into())),
+        (
+            "log_registers_bytes",
+            Json::UInt(o.log_registers_bytes as u64),
+        ),
+        (
+            "l1_ext_bits_per_line",
+            Json::UInt(o.l1_ext_bits_per_line as u64),
+        ),
+        (
+            "undo_redo_buffer_bytes",
+            Json::UInt(o.undo_redo_buffer_bytes as u64),
+        ),
+        ("redo_buffer_bytes", Json::UInt(o.redo_buffer_bytes as u64)),
+        (
+            "ulog_counters_bytes",
+            Json::UInt(o.ulog_counters_bytes as u64),
+        ),
+    ]));
     println!();
     println!("SLDE capacity overheads (dirty flag, 1 flag bit per m bytes), §IV-C:");
     for m in [1u32, 2, 4] {
@@ -47,6 +72,19 @@ fn main() {
             slde::redo_dirty_flag_overhead(m) * 100.0,
             slde::l1_dirty_flag_overhead(m) * 100.0
         );
+        sink.push(Json::obj(vec![
+            ("kind", Json::Str("slde_flag_overhead".into())),
+            ("m", Json::UInt(m.into())),
+            (
+                "undo_redo_fraction",
+                Json::Num(slde::undo_redo_dirty_flag_overhead(m)),
+            ),
+            (
+                "redo_fraction",
+                Json::Num(slde::redo_dirty_flag_overhead(m)),
+            ),
+            ("l1_fraction", Json::Num(slde::l1_dirty_flag_overhead(m))),
+        ]));
     }
     println!(
         "log-region flag overhead: {:.2}% (paper: <= 1.7%)",
@@ -60,4 +98,16 @@ fn main() {
         synth.encode_energy_pj,
         synth.decode_energy_pj
     );
+    sink.push(Json::obj(vec![
+        ("kind", Json::Str("slde_synthesis".into())),
+        (
+            "log_region_flag_fraction",
+            Json::Num(slde::log_region_flag_overhead()),
+        ),
+        ("extra_gates", Json::Num(synth.extra_gates)),
+        ("encode_latency_ns", Json::Num(synth.encode_latency_ns)),
+        ("encode_energy_pj", Json::Num(synth.encode_energy_pj)),
+        ("decode_energy_pj", Json::Num(synth.decode_energy_pj)),
+    ]));
+    sink.finish();
 }

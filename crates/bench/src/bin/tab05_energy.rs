@@ -1,10 +1,13 @@
 //! Table V: NVMM write-energy reduction vs FWB-CRADE (micro-benchmark
 //! average, small and large datasets).
-use morlog_bench::{run_all_designs, scaled_txs, RunSpec};
+use morlog_bench::results::ResultSink;
+use morlog_bench::{scaled_txs, RunSpec, SweepRunner};
 use morlog_sim_core::DesignKind;
 use morlog_workloads::WorkloadKind;
 
 fn main() {
+    let runner = SweepRunner::from_env();
+    let mut sink = ResultSink::new("tab05_energy", runner.jobs());
     println!("Table V — NVMM write-energy reduction vs FWB-CRADE (micro average)");
     println!(
         "{:<8} {:>11} {:>10} {:>13} {:>12} {:>10}",
@@ -14,15 +17,27 @@ fn main() {
         ("Small", false, scaled_txs(2_000)),
         ("Large", true, scaled_txs(400)),
     ] {
+        let specs: Vec<RunSpec> = WorkloadKind::MICRO
+            .iter()
+            .flat_map(|&kind| {
+                DesignKind::ALL.iter().map(move |&design| {
+                    let spec = RunSpec::new(design, kind, txs);
+                    if large {
+                        spec.large()
+                    } else {
+                        spec
+                    }
+                })
+            })
+            .collect();
+        let runs = runner.run_specs(&specs);
+        sink.push_runs(&runs);
         let mut sums = vec![0.0f64; DesignKind::ALL.len()];
-        for kind in WorkloadKind::MICRO {
-            let mut spec = RunSpec::new(DesignKind::FwbCrade, kind, txs);
-            if large {
-                spec = spec.large();
-            }
-            let reports = run_all_designs(&spec);
-            for (d, r) in reports.iter().enumerate() {
-                sums[d] += r.energy_reduction_pct(&reports[0]) / WorkloadKind::MICRO.len() as f64;
+        for ki in 0..WorkloadKind::MICRO.len() {
+            let chunk = &runs[ki * DesignKind::ALL.len()..(ki + 1) * DesignKind::ALL.len()];
+            for (d, t) in chunk.iter().enumerate() {
+                sums[d] += t.report.energy_reduction_pct(&chunk[0].report)
+                    / WorkloadKind::MICRO.len() as f64;
             }
         }
         println!(
@@ -32,4 +47,5 @@ fn main() {
     }
     println!("\npaper:   Small: 0.6% / 39.5% / 2.1% / 43.7% / 45.9%");
     println!("         Large: 1.6% / 30.3% / 4.3% / 34.6% / 36.0%");
+    sink.finish();
 }

@@ -5,26 +5,102 @@
 //! Run sizes default to values that complete in minutes on a laptop and can
 //! be scaled with the `MORLOG_TXS` environment variable (the paper runs
 //! 100 K transactions per workload; the shapes are stable well below that).
+//!
+//! The design space is embarrassingly parallel across
+//! (design × workload × seed) points, so sweeps fan out across a
+//! [`SweepRunner`] thread pool sized by `MORLOG_JOBS` (default: available
+//! parallelism). Each per-run simulation stays single-threaded and
+//! deterministic; results are returned **in spec order**, independent of
+//! completion order, so parallel sweeps print byte-identical tables to
+//! serial ones. Workload traces are generated once per distinct
+//! `(kind, dataset, threads, transactions, seed)` key through the
+//! [`morlog_workloads::cache`] trace cache and shared immutably across
+//! designs and worker threads. Alongside the printed tables, every binary
+//! records machine-readable JSON results under `results/` (see
+//! [`results`]).
 
 #![deny(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use morlog_encoding::secure::SecureMode;
 use morlog_sim::{RunReport, System};
 use morlog_sim_core::{DesignKind, SystemConfig};
-use morlog_workloads::{generate, DatasetSize, WorkloadConfig, WorkloadKind};
+use morlog_workloads::{cached_generate, DatasetSize, WorkloadConfig, WorkloadKind};
 
-/// Scales a default transaction count by the `MORLOG_TXS` override.
-pub fn scaled_txs(default: usize) -> usize {
-    match std::env::var("MORLOG_TXS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) => n,
-        None => default,
+pub mod json;
+pub mod results;
+
+/// Parses a `MORLOG_TXS`-style transaction-count override.
+///
+/// # Errors
+///
+/// Returns a message when the value is not a positive integer (`100k`,
+/// `1e5` and friends are rejected rather than silently ignored).
+pub fn parse_txs(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        Ok(_) => Err(format!("MORLOG_TXS={raw:?} must be at least 1")),
+        Err(_) => Err(format!(
+            "MORLOG_TXS={raw:?} is not a plain positive integer (suffixes like \"100k\" are not supported)"
+        )),
     }
 }
 
+/// Scales a default transaction count by the `MORLOG_TXS` override.
+///
+/// An unset variable keeps the default; a *malformed* one aborts the
+/// binary with a loud stderr message instead of quietly running the wrong
+/// experiment.
+pub fn scaled_txs(default: usize) -> usize {
+    match std::env::var("MORLOG_TXS") {
+        Err(_) => default,
+        Ok(raw) => parse_txs(&raw).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Parses a `MORLOG_JOBS`-style worker-count override.
+///
+/// # Errors
+///
+/// Returns a message when the value is not a positive integer.
+pub fn parse_jobs(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "MORLOG_JOBS={raw:?} is not a positive integer worker count"
+        )),
+    }
+}
+
+/// Sweep parallelism from `MORLOG_JOBS`, defaulting to the machine's
+/// available parallelism. A malformed value aborts loudly, like
+/// [`scaled_txs`].
+pub fn jobs_from_env() -> usize {
+    match std::env::var("MORLOG_JOBS") {
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Ok(raw) => parse_jobs(&raw).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// A configuration tweak applied after design defaults. `Arc<dyn Fn>`
+/// (rather than a bare `fn` pointer) so sweep points can capture their
+/// parameters instead of smuggling them through environment variables,
+/// which would race under a parallel sweep.
+pub type Tweak = Arc<dyn Fn(&mut SystemConfig) + Send + Sync>;
+
 /// Parameters of one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunSpec {
     /// Logging design.
     pub design: DesignKind,
@@ -38,8 +114,28 @@ pub struct RunSpec {
     pub transactions: usize,
     /// Expansion coding enabled (Table VI turns it off).
     pub expansion: bool,
+    /// Secure-NVMM mode (§IV-D ablations; plaintext by default).
+    pub secure: SecureMode,
+    /// Workload RNG seed (42 everywhere in the paper's evaluation).
+    pub seed: u64,
     /// System-configuration tweak applied after defaults.
-    pub tweak: Option<fn(&mut SystemConfig)>,
+    pub tweak: Option<Tweak>,
+}
+
+impl std::fmt::Debug for RunSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunSpec")
+            .field("design", &self.design)
+            .field("kind", &self.kind)
+            .field("dataset", &self.dataset)
+            .field("threads", &self.threads)
+            .field("transactions", &self.transactions)
+            .field("expansion", &self.expansion)
+            .field("secure", &self.secure)
+            .field("seed", &self.seed)
+            .field("tweak", &self.tweak.as_ref().map(|_| "..."))
+            .finish()
+    }
 }
 
 impl RunSpec {
@@ -52,6 +148,8 @@ impl RunSpec {
             threads: 0,
             transactions,
             expansion: true,
+            secure: SecureMode::None,
+            seed: 42,
             tweak: None,
         }
     }
@@ -74,9 +172,22 @@ impl RunSpec {
         self
     }
 
+    /// Selects a secure-NVMM mode.
+    pub fn secure(mut self, mode: SecureMode) -> Self {
+        self.secure = mode;
+        self
+    }
+
+    /// Overrides the workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Applies a configuration tweak (buffer sizes, latency scale, ...).
-    pub fn tweak(mut self, f: fn(&mut SystemConfig)) -> Self {
-        self.tweak = Some(f);
+    /// Closures may capture their sweep parameters.
+    pub fn tweak(mut self, f: impl Fn(&mut SystemConfig) + Send + Sync + 'static) -> Self {
+        self.tweak = Some(Arc::new(f));
         self
     }
 
@@ -88,32 +199,60 @@ impl RunSpec {
             format!("{}-{}", self.kind.label(), self.dataset.label())
         }
     }
+
+    /// The design-default configuration with this spec's tweak applied.
+    pub fn config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::for_design(self.design);
+        if let Some(tweak) = &self.tweak {
+            tweak(&mut cfg);
+        }
+        cfg
+    }
+
+    /// The thread count this spec asks for (0 resolves to the paper's
+    /// default for the benchmark).
+    pub fn requested_threads(&self) -> usize {
+        if self.threads == 0 {
+            self.kind.default_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// The thread count that actually runs: the request clamped to the
+    /// configuration's core count. Rows must be labelled with this.
+    pub fn effective_threads(&self) -> usize {
+        self.requested_threads().min(self.config().cores.cores)
+    }
 }
 
 /// Executes one run and returns its report.
 pub fn run(spec: &RunSpec) -> RunReport {
-    let mut cfg = SystemConfig::for_design(spec.design);
-    if let Some(tweak) = spec.tweak {
-        tweak(&mut cfg);
+    let cfg = spec.config();
+    let requested = spec.requested_threads();
+    let threads = requested.min(cfg.cores.cores);
+    if threads < requested {
+        eprintln!(
+            "warning: {} requests {requested} threads but the configuration has only {} \
+             cores; simulating {threads} threads (rows are labelled with the effective count)",
+            spec.label(),
+            cfg.cores.cores
+        );
     }
-    let threads = if spec.threads == 0 {
-        spec.kind.default_threads()
-    } else {
-        spec.threads
-    };
     let wl = WorkloadConfig {
-        threads: threads.min(cfg.cores.cores),
+        threads,
         total_transactions: spec.transactions,
         dataset: spec.dataset,
-        seed: 42,
+        seed: spec.seed,
         data_base: System::data_base(&cfg),
     };
-    let trace = generate(spec.kind, &wl);
-    let mut sys = System::with_expansion(cfg.clone(), &trace, spec.expansion);
+    let trace = cached_generate(spec.kind, &wl);
+    let mut sys = System::with_options(cfg.clone(), &trace, spec.expansion, spec.secure);
     let stats = sys.run();
     RunReport {
         design: spec.design,
         workload: spec.label(),
+        threads,
         stats,
         frequency: cfg.cores.frequency,
     }
@@ -121,6 +260,10 @@ pub fn run(spec: &RunSpec) -> RunReport {
 
 /// Runs all six designs on one spec, returning reports in
 /// [`DesignKind::ALL`] order (index 0 is the FWB-CRADE baseline).
+///
+/// The workload trace is generated **once** and shared across the designs
+/// through the trace cache: the memory map (and therefore `data_base`) is
+/// identical for every design, so all six runs replay the same trace.
 pub fn run_all_designs(base: &RunSpec) -> Vec<RunReport> {
     DesignKind::ALL
         .iter()
@@ -132,9 +275,123 @@ pub fn run_all_designs(base: &RunSpec) -> Vec<RunReport> {
         .collect()
 }
 
+/// One sweep result: the spec, its report and the host wall-clock the run
+/// took (simulated time lives in `report.stats.cycles`).
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// The spec that ran.
+    pub spec: RunSpec,
+    /// Its report.
+    pub report: RunReport,
+    /// Host wall-clock spent simulating (excludes queueing).
+    pub wall: Duration,
+}
+
+/// A bounded worker pool that fans independent sweep points out across
+/// threads and returns results **in input order**, so a parallel sweep is
+/// byte-identical to a serial one.
+///
+/// Each worker claims the next unclaimed index from a shared counter
+/// (dynamic scheduling: long runs don't convoy short ones behind a static
+/// partition). With `jobs == 1` everything executes on the calling thread
+/// — that is the reference serial path the determinism test compares
+/// against.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// A runner sized by `MORLOG_JOBS` (default: available parallelism).
+    pub fn from_env() -> Self {
+        Self::with_jobs(jobs_from_env())
+    }
+
+    /// A runner with an explicit worker count (>= 1 enforced).
+    pub fn with_jobs(jobs: usize) -> Self {
+        SweepRunner { jobs: jobs.max(1) }
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item, in parallel across the pool, returning
+    /// results in item order regardless of completion order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f` (the sweep aborts; no partial table is
+    /// printed with holes in it).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Send + Sync,
+    {
+        if self.jobs == 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(items.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let result = f(item);
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every slot filled once the scope joins")
+            })
+            .collect()
+    }
+
+    /// Runs a list of specs through the pool, timing each, with results in
+    /// spec order.
+    pub fn run_specs(&self, specs: &[RunSpec]) -> Vec<TimedRun> {
+        self.map(specs, |spec| {
+            let t0 = std::time::Instant::now();
+            let report = run(spec);
+            TimedRun {
+                spec: spec.clone(),
+                report,
+                wall: t0.elapsed(),
+            }
+        })
+    }
+
+    /// [`run_all_designs`] through the pool: all six designs on one base
+    /// spec, in [`DesignKind::ALL`] order.
+    pub fn run_designs(&self, base: &RunSpec) -> Vec<TimedRun> {
+        let specs: Vec<RunSpec> = DesignKind::ALL
+            .iter()
+            .map(|&design| {
+                let mut spec = base.clone();
+                spec.design = design;
+                spec
+            })
+            .collect();
+        self.run_specs(&specs)
+    }
+}
+
 /// Prints a normalized-metric table row per design (Fig. 12/13/14 bars).
+/// An empty report slice (every run filtered or skipped) prints a
+/// diagnostic instead of panicking on the missing baseline.
 pub fn print_normalized_rows(workload: &str, reports: &[RunReport]) {
-    let baseline = &reports[0];
+    let Some(baseline) = reports.first() else {
+        println!("{workload:<14} (no runs — nothing to normalize)");
+        return;
+    };
     print!("{workload:<14}");
     for r in reports {
         print!(" {:>12.3}", r.normalized_throughput(baseline));

@@ -1,0 +1,341 @@
+//! Machine-readable result records.
+//!
+//! Every bench binary, alongside its printed table, writes a JSON document
+//! under `results/` (override the directory with `MORLOG_RESULTS_DIR`):
+//!
+//! ```json
+//! {
+//!   "bench": "fig14_macro_throughput",
+//!   "schema_version": 1,
+//!   "git": "65c28e8",
+//!   "jobs": 8,
+//!   "wall_ms": 1234.5,
+//!   "records": [ { "kind": "run", ... }, ... ]
+//! }
+//! ```
+//!
+//! Simulation runs use the `"run"` record kind (spec + full `SimStats`
+//! counters + wall-clock); binaries that only profile traces or compute
+//! overhead arithmetic emit their own record kinds through
+//! [`ResultSink::push`]. The envelope and every `"run"` record are
+//! validated by [`validate_document`], which the schema round-trip test
+//! and CI exercise.
+
+use std::time::Instant;
+
+use morlog_sim_core::SimStats;
+
+use crate::json::Json;
+use crate::TimedRun;
+
+/// Version stamp of the `results/*.json` envelope and record layout.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Collects result records for one bench binary and writes
+/// `results/<bench>.json` on [`ResultSink::finish`].
+pub struct ResultSink {
+    bench: String,
+    jobs: usize,
+    records: Vec<Json>,
+    started: Instant,
+}
+
+impl ResultSink {
+    /// A sink for the named bench binary; `jobs` is the sweep parallelism
+    /// recorded in the envelope.
+    pub fn new(bench: &str, jobs: usize) -> Self {
+        ResultSink {
+            bench: bench.to_string(),
+            jobs,
+            records: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Appends an arbitrary record. It must be an object with a `"kind"`
+    /// string field (enforced by [`validate_document`]).
+    pub fn push(&mut self, record: Json) {
+        self.records.push(record);
+    }
+
+    /// Appends one `"run"` record for a timed simulation run.
+    pub fn push_run(&mut self, run: &TimedRun) {
+        self.records.push(run_record(run));
+    }
+
+    /// Appends `"run"` records for a whole sweep.
+    pub fn push_runs<'a>(&mut self, runs: impl IntoIterator<Item = &'a TimedRun>) {
+        for run in runs {
+            self.push_run(run);
+        }
+    }
+
+    /// Assembles the envelope document (also used by the schema tests).
+    pub fn document(&self) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str(self.bench.clone())),
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            ("git", Json::Str(git_describe())),
+            ("jobs", Json::UInt(self.jobs as u64)),
+            (
+                "wall_ms",
+                Json::Num(self.started.elapsed().as_secs_f64() * 1e3),
+            ),
+            ("records", Json::Arr(self.records.clone())),
+        ])
+    }
+
+    /// Writes `results/<bench>.json` (directory from `MORLOG_RESULTS_DIR`,
+    /// default `results/`, created if missing). Reports the path on stderr
+    /// so table output on stdout stays byte-identical across runs.
+    pub fn finish(self) {
+        let dir = std::env::var("MORLOG_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+        let path = std::path::Path::new(&dir).join(format!("{}.json", self.bench));
+        let doc = self.document();
+        debug_assert_eq!(validate_document(&doc), Ok(()));
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, doc.to_json_pretty() + "\n"))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("results: wrote {}", path.display());
+        }
+    }
+}
+
+/// Builds the `"run"` record for one timed simulation run.
+pub fn run_record(run: &TimedRun) -> Json {
+    let spec = &run.spec;
+    Json::obj(vec![
+        ("kind", Json::Str("run".into())),
+        ("design", Json::Str(spec.design.label().into())),
+        ("workload", Json::Str(run.report.workload.clone())),
+        ("workload_kind", Json::Str(spec.kind.label().into())),
+        ("dataset", Json::Str(spec.dataset.label().into())),
+        (
+            "threads_requested",
+            Json::UInt(spec.requested_threads() as u64),
+        ),
+        ("threads", Json::UInt(run.report.threads as u64)),
+        ("transactions", Json::UInt(spec.transactions as u64)),
+        ("expansion", Json::Bool(spec.expansion)),
+        ("secure", Json::Str(spec.secure.label().into())),
+        ("seed", Json::UInt(spec.seed)),
+        ("tweaked", Json::Bool(spec.tweak.is_some())),
+        ("throughput_tps", Json::Num(run.report.throughput())),
+        ("wall_ms", Json::Num(run.wall.as_secs_f64() * 1e3)),
+        ("stats", stats_json(&run.report.stats)),
+    ])
+}
+
+/// Flattens every [`SimStats`] counter into a JSON object.
+pub fn stats_json(s: &SimStats) -> Json {
+    let cache = s
+        .cache
+        .iter()
+        .map(|l| {
+            Json::obj(vec![
+                ("hits", Json::UInt(l.hits)),
+                ("misses", Json::UInt(l.misses)),
+                ("writebacks", Json::UInt(l.writebacks)),
+                ("evictions", Json::UInt(l.evictions)),
+            ])
+        })
+        .collect();
+    let m = &s.mem;
+    let mem = Json::obj(vec![
+        ("nvmm_reads", Json::UInt(m.nvmm_reads)),
+        ("nvmm_writes", Json::UInt(m.nvmm_writes)),
+        ("data_writes", Json::UInt(m.data_writes)),
+        ("log_writes", Json::UInt(m.log_writes)),
+        ("cells_programmed", Json::UInt(m.cells_programmed)),
+        ("bits_programmed", Json::UInt(m.bits_programmed)),
+        ("log_bits_programmed", Json::UInt(m.log_bits_programmed)),
+        ("write_energy_pj", Json::Num(m.write_energy_pj)),
+        ("log_write_energy_pj", Json::Num(m.log_write_energy_pj)),
+        ("wq_full_stall_cycles", Json::UInt(m.wq_full_stall_cycles)),
+        ("drains", Json::UInt(m.drains)),
+        (
+            "reads_blocked_by_drain",
+            Json::UInt(m.reads_blocked_by_drain),
+        ),
+        ("silent_block_writes", Json::UInt(m.silent_block_writes)),
+        ("read_wait_cycles", Json::UInt(m.read_wait_cycles)),
+        ("log_overflow_growths", Json::UInt(m.log_overflow_growths)),
+        ("faults_torn_drains", Json::UInt(m.faults_torn_drains)),
+        ("faults_bit_flips", Json::UInt(m.faults_bit_flips)),
+        ("write_verify_failures", Json::UInt(m.write_verify_failures)),
+        ("write_verify_retries", Json::UInt(m.write_verify_retries)),
+        ("stuck_slots_remapped", Json::UInt(m.stuck_slots_remapped)),
+    ]);
+    let l = &s.log;
+    let log = Json::obj(vec![
+        ("undo_redo_created", Json::UInt(l.undo_redo_created)),
+        ("redo_created", Json::UInt(l.redo_created)),
+        ("coalesced", Json::UInt(l.coalesced)),
+        ("silent_discarded", Json::UInt(l.silent_discarded)),
+        ("redo_discarded", Json::UInt(l.redo_discarded)),
+        ("entries_written", Json::UInt(l.entries_written)),
+        ("commit_records", Json::UInt(l.commit_records)),
+        ("commit_stall_cycles", Json::UInt(l.commit_stall_cycles)),
+        (
+            "buffer_full_stall_cycles",
+            Json::UInt(l.buffer_full_stall_cycles),
+        ),
+        ("post_commit_redo", Json::UInt(l.post_commit_redo)),
+        (
+            "log_region_full_stalls",
+            Json::UInt(l.log_region_full_stalls),
+        ),
+    ]);
+    Json::obj(vec![
+        ("cycles", Json::UInt(s.cycles)),
+        (
+            "transactions_committed",
+            Json::UInt(s.transactions_committed),
+        ),
+        ("tx_stores", Json::UInt(s.tx_stores)),
+        ("tx_loads", Json::UInt(s.tx_loads)),
+        ("cache", Json::Arr(cache)),
+        ("mem", mem),
+        ("log", log),
+    ])
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn require<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{what}: missing field {key:?}"))
+}
+
+fn require_kind(
+    obj: &Json,
+    key: &str,
+    what: &str,
+    check: impl Fn(&Json) -> bool,
+    ty: &str,
+) -> Result<(), String> {
+    let v = require(obj, key, what)?;
+    if check(v) {
+        Ok(())
+    } else {
+        Err(format!("{what}: field {key:?} is not {ty}"))
+    }
+}
+
+/// Validates a whole `results/*.json` document against the envelope and
+/// record schemas.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending field.
+pub fn validate_document(doc: &Json) -> Result<(), String> {
+    require_kind(
+        doc,
+        "bench",
+        "envelope",
+        |v| v.as_str().is_some(),
+        "a string",
+    )?;
+    let version = require(doc, "schema_version", "envelope")?
+        .as_u64()
+        .ok_or("envelope: schema_version is not an integer")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "envelope: schema_version {version} != {SCHEMA_VERSION}"
+        ));
+    }
+    require_kind(doc, "git", "envelope", |v| v.as_str().is_some(), "a string")?;
+    let jobs = require(doc, "jobs", "envelope")?
+        .as_u64()
+        .ok_or("envelope: jobs is not an integer")?;
+    if jobs == 0 {
+        return Err("envelope: jobs must be >= 1".to_string());
+    }
+    require_kind(
+        doc,
+        "wall_ms",
+        "envelope",
+        |v| v.as_f64().is_some(),
+        "a number",
+    )?;
+    let records = require(doc, "records", "envelope")?
+        .as_arr()
+        .ok_or("envelope: records is not an array")?;
+    for (i, record) in records.iter().enumerate() {
+        let kind = record
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("record {i}: missing string field \"kind\""))?;
+        if kind == "run" {
+            validate_run_record(record).map_err(|e| format!("record {i}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates one `"run"` record.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending field.
+pub fn validate_run_record(record: &Json) -> Result<(), String> {
+    for key in ["design", "workload", "workload_kind", "dataset", "secure"] {
+        require_kind(record, key, "run", |v| v.as_str().is_some(), "a string")?;
+    }
+    for key in ["threads_requested", "threads", "transactions", "seed"] {
+        require_kind(record, key, "run", |v| v.as_u64().is_some(), "an integer")?;
+    }
+    for key in ["expansion", "tweaked"] {
+        require_kind(record, key, "run", |v| matches!(v, Json::Bool(_)), "a bool")?;
+    }
+    for key in ["throughput_tps", "wall_ms"] {
+        require_kind(record, key, "run", |v| v.as_f64().is_some(), "a number")?;
+    }
+    let stats = require(record, "stats", "run")?;
+    for key in ["cycles", "transactions_committed", "tx_stores", "tx_loads"] {
+        require_kind(
+            stats,
+            key,
+            "run.stats",
+            |v| v.as_u64().is_some(),
+            "an integer",
+        )?;
+    }
+    let cache = require(stats, "cache", "run.stats")?
+        .as_arr()
+        .ok_or("run.stats: cache is not an array")?;
+    if cache.len() != 3 {
+        return Err("run.stats: cache must have 3 levels".to_string());
+    }
+    for key in ["nvmm_writes", "log_writes", "bits_programmed"] {
+        require_kind(
+            require(stats, "mem", "run.stats")?,
+            key,
+            "run.stats.mem",
+            |v| v.as_u64().is_some(),
+            "an integer",
+        )?;
+    }
+    require_kind(
+        require(stats, "log", "run.stats")?,
+        "entries_written",
+        "run.stats.log",
+        |v| v.as_u64().is_some(),
+        "an integer",
+    )?;
+    Ok(())
+}

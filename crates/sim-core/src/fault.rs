@@ -74,6 +74,15 @@ pub struct FaultPlan {
     sites: u64,
 }
 
+// Fault plans ride inside `System`s that sweep workers own and run on pool
+// threads; the plan is plain owned data, audited thread-safe here.
+#[allow(dead_code)]
+fn _fault_plan_is_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<FaultPlan>();
+    check::<crate::SystemConfig>();
+}
+
 impl FaultPlan {
     /// A plan that injects nothing (the default for every existing test).
     pub fn none() -> Self {

@@ -21,3 +21,14 @@ pub mod system;
 pub use oracle::Oracle;
 pub use report::RunReport;
 pub use system::System;
+
+// Sweep workers build and run whole `System`s on pool threads; this is the
+// compile-time audit that a system (and everything it owns — controller,
+// fault plan, oracle, stats) can move to / be shared by worker threads.
+#[allow(dead_code)]
+fn _system_is_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<System>();
+    check::<RunReport>();
+    check::<morlog_sim_core::SimStats>();
+}

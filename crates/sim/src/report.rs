@@ -9,6 +9,9 @@ pub struct RunReport {
     pub design: DesignKind,
     /// Workload label (e.g. "BTree-Small").
     pub workload: String,
+    /// Worker threads that actually ran (after clamping to the core
+    /// count) — the count result rows must be labelled with.
+    pub threads: usize,
     /// Collected statistics.
     pub stats: SimStats,
     /// Core frequency (for throughput).
@@ -78,6 +81,7 @@ mod tests {
         RunReport {
             design: DesignKind::MorLogSlde,
             workload: "test".into(),
+            threads: 4,
             stats,
             frequency: Frequency::ghz(3.0),
         }

@@ -1,0 +1,178 @@
+//! Keyed workload-trace cache.
+//!
+//! Every distinct `(kind, WorkloadConfig)` pair deterministically produces
+//! the same [`WorkloadTrace`], so regenerating it per design (or per sweep
+//! point) is pure waste — for the six-design comparison figures it is 6x
+//! the trace-generation cost. The cache generates each distinct trace
+//! exactly once and hands out `Arc` clones that are shared immutably
+//! across simulations (and across sweep worker threads).
+//!
+//! Exactly-once generation is guaranteed even under concurrent lookups:
+//! the map itself is only locked long enough to find or insert a per-key
+//! [`OnceLock`] cell; generation runs outside the map lock inside
+//! `OnceLock::get_or_init`, so concurrent requests for *different* keys
+//! generate in parallel while concurrent requests for the *same* key
+//! block on one generator.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::registry::{generate, WorkloadConfig, WorkloadKind};
+use crate::trace::WorkloadTrace;
+
+/// A cache key: the full set of inputs `generate` depends on.
+pub type TraceKey = (WorkloadKind, WorkloadConfig);
+
+/// A keyed, thread-safe cache of generated workload traces.
+#[derive(Default)]
+pub struct TraceCache {
+    cells: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<WorkloadTrace>>>>>,
+    gen_counts: Mutex<HashMap<TraceKey, u64>>,
+    generations: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// Returns the trace for `(kind, cfg)`, generating it on first use and
+    /// serving an `Arc` clone of the shared copy afterwards.
+    pub fn get_or_generate(&self, kind: WorkloadKind, cfg: &WorkloadConfig) -> Arc<WorkloadTrace> {
+        let key = (kind, *cfg);
+        let cell = {
+            let mut cells = self.cells.lock().unwrap();
+            Arc::clone(cells.entry(key).or_default())
+        };
+        let mut generated = false;
+        let trace = Arc::clone(cell.get_or_init(|| {
+            generated = true;
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            *self.gen_counts.lock().unwrap().entry(key).or_insert(0) += 1;
+            Arc::new(generate(kind, cfg))
+        }));
+        if !generated {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        trace
+    }
+
+    /// Total number of traces actually generated (cache misses).
+    pub fn generations(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
+    }
+
+    /// How many times `generate` actually ran for one key. The cache
+    /// invariant is that this never exceeds 1; sweeps assert on it to
+    /// guard against regressing to per-design regeneration.
+    pub fn generations_for(&self, kind: WorkloadKind, cfg: &WorkloadConfig) -> u64 {
+        *self
+            .gen_counts
+            .lock()
+            .unwrap()
+            .get(&(kind, *cfg))
+            .unwrap_or(&0)
+    }
+
+    /// Number of lookups served from the cache without generating.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct traces currently cached.
+    pub fn len(&self) -> usize {
+        self.cells.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide trace cache shared by the bench harness.
+pub fn global() -> &'static TraceCache {
+    static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+    GLOBAL.get_or_init(TraceCache::new)
+}
+
+/// [`generate`] through the process-wide cache: each distinct
+/// `(kind, cfg)` trace is generated once per process and shared.
+pub fn cached_generate(kind: WorkloadKind, cfg: &WorkloadConfig) -> Arc<WorkloadTrace> {
+    global().get_or_generate(kind, cfg)
+}
+
+// Traces are shared immutably across sweep worker threads; this is the
+// compile-time audit that everything in a trace is thread-safe.
+#[allow(dead_code)]
+fn _trace_is_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<WorkloadTrace>();
+    check::<TraceCache>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morlog_sim_core::Addr;
+
+    fn key_cfg(seed: u64) -> WorkloadConfig {
+        let mut cfg = WorkloadConfig::test_config(Addr::new(0x1000_0000));
+        cfg.seed = seed;
+        cfg
+    }
+
+    #[test]
+    fn same_key_generates_once_and_shares() {
+        let cache = TraceCache::new();
+        let cfg = key_cfg(7);
+        let a = cache.get_or_generate(WorkloadKind::Sps, &cfg);
+        let b = cache.get_or_generate(WorkloadKind::Sps, &cfg);
+        assert!(Arc::ptr_eq(&a, &b), "hits must share the same trace");
+        assert_eq!(cache.generations(), 1);
+        assert_eq!(cache.generations_for(WorkloadKind::Sps, &cfg), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_generate_separately() {
+        let cache = TraceCache::new();
+        let cfg = key_cfg(7);
+        let other = key_cfg(8);
+        let a = cache.get_or_generate(WorkloadKind::Sps, &cfg);
+        let b = cache.get_or_generate(WorkloadKind::Sps, &other);
+        let c = cache.get_or_generate(WorkloadKind::Hash, &cfg);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a, b, "different seeds must differ");
+        assert_ne!(a.name, c.name);
+        assert_eq!(cache.generations(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn cached_trace_matches_direct_generation() {
+        let cache = TraceCache::new();
+        let cfg = key_cfg(42);
+        let cached = cache.get_or_generate(WorkloadKind::Queue, &cfg);
+        let direct = generate(WorkloadKind::Queue, &cfg);
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn concurrent_same_key_generates_once() {
+        let cache = TraceCache::new();
+        let cfg = key_cfg(9);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| cache.get_or_generate(WorkloadKind::Hash, &cfg));
+            }
+        });
+        assert_eq!(cache.generations(), 1);
+        assert_eq!(cache.generations_for(WorkloadKind::Hash, &cfg), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+}

@@ -18,6 +18,7 @@
 #![deny(missing_docs)]
 
 pub mod btree;
+pub mod cache;
 pub mod ctree;
 pub mod echo;
 pub mod hashmap;
@@ -35,6 +36,7 @@ pub mod vacation;
 pub mod workspace;
 pub mod ycsb;
 
+pub use cache::{cached_generate, TraceCache};
 pub use registry::{generate, DatasetSize, WorkloadConfig, WorkloadKind};
 pub use trace::{Op, ThreadTrace, Transaction, WorkloadTrace};
 pub use workspace::Workspace;

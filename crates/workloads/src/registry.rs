@@ -133,7 +133,10 @@ impl std::fmt::Display for WorkloadKind {
 }
 
 /// Configuration shared by every workload generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` cover every field `generate` depends on, so the pair
+/// `(WorkloadKind, WorkloadConfig)` is a complete trace-cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadConfig {
     /// Worker threads (cores used).
     pub threads: usize,
