@@ -88,13 +88,18 @@ pub struct WriteDistanceHistogram {
 
 impl WriteDistanceHistogram {
     /// Profiles a workload trace. Distances are measured per thread (each
-    /// hardware thread sees its own store stream, as PIN does).
+    /// hardware thread sees its own store stream, as PIN does) and reset at
+    /// transaction boundaries: Fig. 3 defines the distance "within the
+    /// transaction region of execution", so the first store of a new
+    /// transaction to an address the previous transaction also wrote is a
+    /// First Write, not a repeat (log entries do not survive commit, which
+    /// is why cross-transaction locality cannot be coalesced).
     pub fn profile(trace: &WorkloadTrace) -> Self {
         let mut hist = WriteDistanceHistogram::default();
         for thread in &trace.threads {
-            let mut last_store: HashMap<u64, u64> = HashMap::new();
-            let mut store_idx: u64 = 0;
             for tx in &thread.transactions {
+                let mut last_store: HashMap<u64, u64> = HashMap::new();
+                let mut store_idx: u64 = 0;
                 for op in &tx.ops {
                     if let Op::Store(addr, _) = op {
                         let word = addr.word_base().as_u64();
@@ -223,6 +228,40 @@ mod tests {
             (h.fraction_beyond_31() - 1.0).abs() < 1e-12,
             "the only repeat is far"
         );
+    }
+
+    #[test]
+    fn distances_reset_at_transaction_boundaries() {
+        // Two transactions on one thread, hand-computed:
+        //   tx0: A B A   -> FirstWrite, FirstWrite, D0To1 (one store between)
+        //   tx1: A C     -> FirstWrite (the map reset!), FirstWrite
+        // Before the per-transaction reset, tx1's store to A was wrongly
+        // bucketed as a distance-1 repeat of tx0's last store to A.
+        let a = Addr::new(10 * 8);
+        let b = Addr::new(11 * 8);
+        let c = Addr::new(12 * 8);
+        let trace = WorkloadTrace {
+            name: "t".into(),
+            threads: vec![ThreadTrace {
+                transactions: vec![
+                    Transaction {
+                        ops: vec![Op::Store(a, 1), Op::Store(b, 1), Op::Store(a, 2)],
+                    },
+                    Transaction {
+                        ops: vec![Op::Store(a, 3), Op::Store(c, 1)],
+                    },
+                ],
+                initial: Vec::new(),
+            }],
+        };
+        let h = WriteDistanceHistogram::profile(&trace);
+        assert_eq!(h.total(), 5);
+        assert!(
+            (h.fraction(DistanceBucket::FirstWrite) - 4.0 / 5.0).abs() < 1e-12,
+            "4 of 5 stores are first writes of their transaction"
+        );
+        assert!((h.fraction(DistanceBucket::D0To1) - 1.0 / 5.0).abs() < 1e-12);
+        assert!((h.fraction_repeat() - 1.0 / 5.0).abs() < 1e-12);
     }
 
     #[test]

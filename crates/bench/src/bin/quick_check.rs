@@ -1,6 +1,6 @@
 //! Quick sanity harness: per-design throughput/traffic/energy on one workload.
 use morlog_bench::results::ResultSink;
-use morlog_bench::{RunSpec, SweepRunner};
+use morlog_bench::{print_stall_breakdown, RunSpec, SweepRunner};
 use morlog_sim_core::DesignKind;
 use morlog_workloads::WorkloadKind;
 
@@ -51,5 +51,10 @@ fn main() {
             t.wall,
         );
     }
+    // Cycle-attribution breakdown (printed with tracing on or off — the
+    // profiler always runs, so traced and untraced stdout stay identical).
+    println!();
+    let reports: Vec<_> = runs.iter().map(|t| t.report.clone()).collect();
+    print_stall_breakdown(&reports);
     sink.finish();
 }

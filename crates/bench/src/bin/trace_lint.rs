@@ -1,0 +1,141 @@
+//! Schema checker for observability artifacts: validates JSONL event
+//! traces (`MORLOG_TRACE_DIR` dumps) and `results/*.json` documents.
+//!
+//! Usage: `trace_lint <path>...` — each path is a `.jsonl` trace, a
+//! `.json` results document, or a directory scanned (non-recursively) for
+//! both. Exits non-zero on the first malformed file, printing what was
+//! wrong; prints a per-file summary otherwise. CI runs this over the
+//! `quick_check` artifacts so a schema drift fails the build instead of
+//! silently shipping unreadable dumps.
+
+use morlog_bench::json::{parse, Json};
+use morlog_bench::results::validate_document;
+
+/// Event labels the simulator emits, with the extra fields each carries
+/// (beyond the common `cycle` + `event`).
+const EVENT_FIELDS: &[(&str, &[&str])] = &[
+    ("log_append", &["slice", "offset", "kind", "thread", "txid"]),
+    ("log_truncate", &["slice", "old_head", "new_head"]),
+    ("word_transition", &["thread", "txid", "addr", "from", "to"]),
+    ("wq_accept", &["channel", "occupancy", "is_log"]),
+    ("wq_drain_start", &["channel", "occupancy"]),
+    ("wq_drain_end", &["channel", "occupancy"]),
+    ("commit_phase", &["thread", "txid", "phase"]),
+    ("cache_writeback", &["level", "line"]),
+    ("fwb_scan", &["writebacks"]),
+    ("crash", &[]),
+    ("recovery", &["step", "count"]),
+];
+
+fn lint_trace(path: &std::path::Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut last_cycle = 0u64;
+    let mut count = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let obj = parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let cycle = obj
+            .get("cycle")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {n}: missing integer \"cycle\""))?;
+        if cycle < last_cycle {
+            return Err(format!(
+                "line {n}: cycle {cycle} goes backwards (previous {last_cycle})"
+            ));
+        }
+        last_cycle = cycle;
+        let event = obj
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {n}: missing string \"event\""))?;
+        let fields = EVENT_FIELDS
+            .iter()
+            .find(|(label, _)| *label == event)
+            .map(|(_, fields)| *fields)
+            .ok_or_else(|| format!("line {n}: unknown event {event:?}"))?;
+        for field in fields {
+            if obj.get(field).is_none() {
+                return Err(format!("line {n}: {event} is missing field {field:?}"));
+            }
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn lint_results(path: &std::path::Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = parse(&text)?;
+    validate_document(&doc)?;
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::len)
+        .unwrap_or(0);
+    Ok(records)
+}
+
+fn lint_file(path: &std::path::Path) -> Result<(), String> {
+    let ext = path.extension().and_then(|e| e.to_str());
+    match ext {
+        Some("jsonl") => {
+            let events = lint_trace(path)?;
+            println!("ok {} ({events} events)", path.display());
+            Ok(())
+        }
+        Some("json") => {
+            let records = lint_results(path)?;
+            println!("ok {} ({records} records)", path.display());
+            Ok(())
+        }
+        _ => Err("expected a .jsonl trace or a .json results document".to_string()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: trace_lint <trace.jsonl | results.json | dir>...");
+        std::process::exit(2);
+    }
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for arg in &args {
+        let path = std::path::PathBuf::from(arg);
+        if path.is_dir() {
+            let mut entries: Vec<_> = match std::fs::read_dir(&path) {
+                Ok(rd) => rd
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        matches!(
+                            p.extension().and_then(|e| e.to_str()),
+                            Some("json" | "jsonl")
+                        )
+                    })
+                    .collect(),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            entries.sort();
+            if entries.is_empty() {
+                eprintln!("error: {}: no .json/.jsonl files", path.display());
+                std::process::exit(2);
+            }
+            files.extend(entries);
+        } else {
+            files.push(path);
+        }
+    }
+    let mut failed = false;
+    for path in &files {
+        if let Err(e) = lint_file(path) {
+            eprintln!("error: {}: {e}", path.display());
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -376,9 +376,16 @@ mod tests {
 
     #[test]
     fn big_counters_stay_exact() {
-        let n = u64::MAX - 7;
-        let v = parse(&Json::UInt(n).to_json()).unwrap();
-        assert_eq!(v.as_u64(), Some(n));
+        // u64::MAX and neighbours are not representable in f64 (2^53 cap);
+        // they must round-trip through Json::UInt without drift.
+        for n in [u64::MAX, u64::MAX - 7, (1 << 53) + 1] {
+            let v = parse(&Json::UInt(n).to_json()).unwrap();
+            assert_eq!(v.as_u64(), Some(n), "n = {n}");
+            assert_eq!(v, Json::UInt(n), "literal must parse as UInt, not Num");
+        }
+        // Dotted / exponent forms still land in Num.
+        assert!(matches!(parse("1.5").unwrap(), Json::Num(_)));
+        assert!(matches!(parse("1e3").unwrap(), Json::Num(_)));
     }
 
     #[test]

@@ -27,6 +27,8 @@ use std::time::Duration;
 
 use morlog_encoding::secure::SecureMode;
 use morlog_sim::{RunReport, System};
+use morlog_sim_core::stats::CycleAttribution;
+use morlog_sim_core::trace::Tracer;
 use morlog_sim_core::{DesignKind, SystemConfig};
 use morlog_workloads::{cached_generate, DatasetSize, WorkloadConfig, WorkloadKind};
 
@@ -249,6 +251,7 @@ pub fn run(spec: &RunSpec) -> RunReport {
     let trace = cached_generate(spec.kind, &wl);
     let mut sys = System::with_options(cfg.clone(), &trace, spec.expansion, spec.secure);
     let stats = sys.run();
+    maybe_dump_trace(spec, sys.tracer());
     RunReport {
         design: spec.design,
         workload: spec.label(),
@@ -406,4 +409,65 @@ pub fn print_design_header(first_col: &str) {
         print!(" {:>12}", d.label());
     }
     println!();
+}
+
+/// Prints the per-design cycle-attribution breakdown: what fraction of the
+/// run's core-cycles each stall account consumed. The accounts come from
+/// the simulator's profiler and sum exactly to the run's execution cycles
+/// times its cores, so the percentages of a row always total 100.
+pub fn print_stall_breakdown(reports: &[RunReport]) {
+    if reports.is_empty() {
+        return;
+    }
+    print!("{:<14}", "cycle %");
+    for label in CycleAttribution::LABELS {
+        print!(" {label:>16}");
+    }
+    println!();
+    for r in reports {
+        print!("{:<14}", r.design.label());
+        let total = r.stats.attr.total();
+        for v in r.stats.attr.values() {
+            if total == 0 {
+                print!(" {:>16}", "-");
+            } else {
+                print!(" {:>15.1}%", 100.0 * v as f64 / total as f64);
+            }
+        }
+        println!();
+    }
+}
+
+/// Writes a finished run's event trace as JSONL when tracing is enabled
+/// **and** `MORLOG_TRACE_DIR` names a dump directory. The file is
+/// `<design>_<workload>_t<threads>_s<seed>.jsonl`, one event object per
+/// line, so parallel sweep points land in distinct files. Diagnostics go
+/// to stderr; stdout tables stay byte-identical with tracing on or off.
+fn maybe_dump_trace(spec: &RunSpec, tracer: &Tracer) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let Ok(dir) = std::env::var("MORLOG_TRACE_DIR") else {
+        return;
+    };
+    let name = format!(
+        "{}_{}_t{}_s{}.jsonl",
+        spec.design.label(),
+        spec.label(),
+        spec.effective_threads(),
+        spec.seed
+    );
+    let path = std::path::Path::new(&dir).join(name);
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, tracer.to_jsonl()))
+    {
+        eprintln!("warning: could not write trace {}: {e}", path.display());
+    } else {
+        eprintln!(
+            "trace: wrote {} ({} events, {} dropped)",
+            path.display(),
+            tracer.len(),
+            tracer.dropped()
+        );
+    }
 }

@@ -6,7 +6,7 @@
 //! ```json
 //! {
 //!   "bench": "fig14_macro_throughput",
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "git": "65c28e8",
 //!   "jobs": 8,
 //!   "wall_ms": 1234.5,
@@ -20,7 +20,14 @@
 //! [`ResultSink::push`]. The envelope and every `"run"` record are
 //! validated by [`validate_document`], which the schema round-trip test
 //! and CI exercise.
+//!
+//! Schema history: version 2 added the `stats.attr` cycle-attribution
+//! object (one integer account per [`StallKind`] bucket; the accounts sum
+//! to `cycles * threads`).
+//!
+//! [`StallKind`]: morlog_sim_core::stats::StallKind
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use morlog_sim_core::SimStats;
@@ -29,7 +36,7 @@ use crate::json::Json;
 use crate::TimedRun;
 
 /// Version stamp of the `results/*.json` envelope and record layout.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Collects result records for one bench binary and writes
 /// `results/<bench>.json` on [`ResultSink::finish`].
@@ -188,6 +195,17 @@ pub fn stats_json(s: &SimStats) -> Json {
             Json::UInt(l.log_region_full_stalls),
         ),
     ]);
+    let a = &s.attr;
+    let attr = Json::obj(vec![
+        ("busy", Json::UInt(a.busy)),
+        ("read_wait", Json::UInt(a.read_wait)),
+        ("drain_wait", Json::UInt(a.drain_wait)),
+        ("log_buffer_stall", Json::UInt(a.log_buffer_stall)),
+        ("wq_stall", Json::UInt(a.wq_stall)),
+        ("commit_wait", Json::UInt(a.commit_wait)),
+        ("idle", Json::UInt(a.idle)),
+        ("total", Json::UInt(a.total())),
+    ]);
     Json::obj(vec![
         ("cycles", Json::UInt(s.cycles)),
         (
@@ -199,21 +217,35 @@ pub fn stats_json(s: &SimStats) -> Json {
         ("cache", Json::Arr(cache)),
         ("mem", mem),
         ("log", log),
+        ("attr", attr),
     ])
 }
 
-/// `git describe --always --dirty` of the working tree, or `"unknown"`
-/// when git is unavailable.
+/// `git describe --always --dirty` of this crate's source tree, or
+/// `"unknown"` when git is unavailable.
+///
+/// The subprocess is pinned to `CARGO_MANIFEST_DIR` rather than the
+/// process working directory, so a bench binary launched from an
+/// unrelated repository (or from no repository at all) still stamps the
+/// tree the code was built from. The answer cannot change within one
+/// process, so it is computed once and memoized — sweeps that stamp
+/// hundreds of records no longer fork git per record.
 pub fn git_describe() -> String {
-    std::process::Command::new("git")
-        .args(["describe", "--always", "--dirty"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
+    static DESCRIBE: OnceLock<String> = OnceLock::new();
+    DESCRIBE
+        .get_or_init(|| {
+            std::process::Command::new("git")
+                .args(["describe", "--always", "--dirty"])
+                .current_dir(env!("CARGO_MANIFEST_DIR"))
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| "unknown".to_string())
+        })
+        .clone()
 }
 
 fn require<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
@@ -337,5 +369,28 @@ pub fn validate_run_record(record: &Json) -> Result<(), String> {
         |v| v.as_u64().is_some(),
         "an integer",
     )?;
+    let attr = require(stats, "attr", "run.stats")?;
+    let mut sum = 0u64;
+    for key in [
+        "busy",
+        "read_wait",
+        "drain_wait",
+        "log_buffer_stall",
+        "wq_stall",
+        "commit_wait",
+        "idle",
+    ] {
+        sum += require(attr, key, "run.stats.attr")?
+            .as_u64()
+            .ok_or_else(|| format!("run.stats.attr: field {key:?} is not an integer"))?;
+    }
+    let total = require(attr, "total", "run.stats.attr")?
+        .as_u64()
+        .ok_or("run.stats.attr: total is not an integer")?;
+    if sum != total {
+        return Err(format!(
+            "run.stats.attr: accounts sum to {sum} but total says {total}"
+        ));
+    }
     Ok(())
 }

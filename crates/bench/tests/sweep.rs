@@ -40,6 +40,41 @@ fn parallel_sweep_matches_serial() {
 }
 
 #[test]
+fn parallel_sweep_matches_serial_with_tracing_on() {
+    // The observability layer must not perturb simulation or sweep
+    // determinism: with the trace sink enabled per-config, a parallel
+    // traced sweep is identical to a serial traced sweep, and both carry
+    // the same stats as the untraced reference.
+    let traced_specs: Vec<RunSpec> = DesignKind::ALL
+        .iter()
+        .map(|&design| {
+            quick_spec(design, WorkloadKind::Hash, 90_005).tweak(|cfg| cfg.trace.enabled = true)
+        })
+        .collect();
+    let plain_specs: Vec<RunSpec> = DesignKind::ALL
+        .iter()
+        .map(|&design| quick_spec(design, WorkloadKind::Hash, 90_005))
+        .collect();
+    let serial = SweepRunner::with_jobs(1).run_specs(&traced_specs);
+    let parallel = SweepRunner::with_jobs(4).run_specs(&traced_specs);
+    let plain = SweepRunner::with_jobs(1).run_specs(&plain_specs);
+    for ((s, p), u) in serial.iter().zip(&parallel).zip(&plain) {
+        assert_eq!(
+            s.report.stats,
+            p.report.stats,
+            "traced parallel run of {} diverged from traced serial",
+            s.report.design.label()
+        );
+        assert_eq!(
+            s.report.stats,
+            u.report.stats,
+            "tracing perturbed the simulation of {}",
+            s.report.design.label()
+        );
+    }
+}
+
+#[test]
 fn map_preserves_input_order() {
     let items: Vec<u64> = (0..97).collect();
     let doubled = SweepRunner::with_jobs(8).map(&items, |&x| x * 2);

@@ -17,7 +17,8 @@
 //!   *before* the corresponding memory writeback is enqueued.
 
 use morlog_sim_core::stats::CacheLevelStats;
-use morlog_sim_core::{HierarchyConfig, LineAddr, LineData};
+use morlog_sim_core::trace::{TraceEvent, Tracer};
+use morlog_sim_core::{Cycle, HierarchyConfig, LineAddr, LineData};
 
 use crate::cache::Cache;
 use crate::line::CacheLine;
@@ -91,6 +92,13 @@ pub struct Hierarchy {
     l2: Vec<Cache>,
     l3: Cache,
     stats: [CacheLevelStats; 3],
+    /// Observability sink (disabled by default; see [`set_tracer`]).
+    ///
+    /// [`set_tracer`]: Hierarchy::set_tracer
+    tracer: Tracer,
+    /// Cycle stamp for emitted events; the hierarchy itself is untimed, so
+    /// the engine refreshes this via [`set_now`](Hierarchy::set_now).
+    now: Cycle,
 }
 
 impl Hierarchy {
@@ -107,7 +115,21 @@ impl Hierarchy {
             l2: (0..cores).map(|_| Cache::new(cfg.l2)).collect(),
             l3: Cache::new(cfg.l3),
             stats: [CacheLevelStats::default(); 3],
+            tracer: Tracer::disabled(),
+            now: 0,
         }
+    }
+
+    /// Installs the shared trace handle (see [`morlog_sim_core::trace`]).
+    /// Emits memory-writeback and force-write-back scan events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Refreshes the cycle stamp used for emitted events. The engine calls
+    /// this once per simulated cycle before driving hierarchy operations.
+    pub fn set_now(&mut self, now: Cycle) {
+        self.now = now;
     }
 
     /// The geometry in effect.
@@ -231,12 +253,20 @@ impl Hierarchy {
                         line.dirty = false;
                         line.fwb_flag = false;
                         self.stats[level].writebacks += 1;
+                        let addr = line.addr.base().as_u64();
+                        self.tracer.emit(self.now, || TraceEvent::CacheWriteback {
+                            level: level as u32,
+                            line: addr,
+                        });
                     } else {
                         line.fwb_flag = true;
                     }
                 }
             }
         }
+        let count = written.len() as u64;
+        self.tracer
+            .emit(self.now, || TraceEvent::FwbScan { writebacks: count });
         written
     }
 
@@ -309,6 +339,11 @@ impl Hierarchy {
             }
             if freshest.dirty {
                 self.stats[2].writebacks += 1;
+                let addr = victim.addr.base().as_u64();
+                self.tracer.emit(self.now, || TraceEvent::CacheWriteback {
+                    level: 2,
+                    line: addr,
+                });
                 events.push(EvictionEvent::MemoryWriteback {
                     addr: victim.addr,
                     data: freshest.data,

@@ -36,14 +36,24 @@ use morlog_nvm::controller::{LogAppendError, MemoryController};
 use morlog_nvm::log::{LogRecord, LogRecordKind};
 use morlog_sim_core::ids::TxKey;
 use morlog_sim_core::stats::LogStats;
+use morlog_sim_core::trace::{CommitPhaseTag, TraceEvent, Tracer, WordStateTag};
 use morlog_sim_core::types::dirty_byte_mask;
 use morlog_sim_core::{Addr, Cycle, DesignKind, LogConfig, ThreadId, TxId};
 
 use crate::buffer::LogBuffer;
 
-/// A store could not proceed this cycle (log-buffer backpressure).
+/// A store could not proceed this cycle, and what blocked it. The engine
+/// retries the store next cycle and charges the stalled cycle to the
+/// matching attribution bucket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StoreStall;
+pub enum StoreStall {
+    /// On-chip log machinery backpressure: forced entries are waiting in
+    /// the overflow queue, or the buffer is full and its head entry could
+    /// not flush because the log ring needs truncation first.
+    Buffer,
+    /// The flush path found the NVMM write queue full this cycle.
+    WriteQueue,
+}
 
 /// An undo+redo entry left the buffer. If it was written, the engine
 /// transitions the word's L1 state `Dirty → URLog` (Fig. 8); if it was
@@ -80,7 +90,9 @@ struct PendingCommit {
 enum FlushOutcome {
     Written,
     Discarded,
-    Blocked,
+    /// The append could not proceed; carries the backpressure class the
+    /// engine should charge a dependent store stall to.
+    Blocked(StoreStall),
 }
 
 /// The log controller.
@@ -123,6 +135,10 @@ pub struct LogController {
     /// Global commit-order counter stamped into commit records (needed to
     /// order commits across distributed log slices, §III-F).
     next_commit_ts: u64,
+    /// Observability sink (disabled by default; see [`set_tracer`]).
+    ///
+    /// [`set_tracer`]: LogController::set_tracer
+    tracer: Tracer,
 }
 
 impl LogController {
@@ -141,8 +157,15 @@ impl LogController {
             redo_lazy_age: 4096,
             secure: SecureMode::None,
             next_commit_ts: 0,
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Installs the shared trace handle (see [`morlog_sim_core::trace`]).
+    /// Emits word state-machine transitions and commit-protocol phases.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Selects the secure-NVMM model (§IV-D).
@@ -201,7 +224,7 @@ impl LogController {
         mc: &mut MemoryController,
     ) -> Result<(), StoreStall> {
         if !self.overflow.is_empty() {
-            return Err(StoreStall);
+            return Err(StoreStall::Buffer);
         }
         let addr = addr.word_base();
         if !self.is_morlog() {
@@ -236,7 +259,7 @@ impl LogController {
                     self.stats.redo_discarded += 1;
                 }
                 if self.ur_buf.is_full() {
-                    self.evict_ur_front(now, mc).map_err(|_| StoreStall)?;
+                    self.evict_ur_front(now, mc)?;
                 }
                 let ext = line.ext.as_mut().expect("ext installed above");
                 self.ur_buf
@@ -245,6 +268,12 @@ impl LogController {
                 self.stats.undo_redo_created += 1;
                 ext.word_state[w] = WordLogState::Dirty;
                 ext.dirty_flags[w] = delta;
+                self.tracer.emit(now, || TraceEvent::WordTransition {
+                    key,
+                    addr: addr.as_u64(),
+                    from: WordStateTag::Clean,
+                    to: WordStateTag::Dirty,
+                });
             }
             WordLogState::Dirty => {
                 if let Some(p) = self.ur_buf.find_mut(key, addr) {
@@ -264,7 +293,7 @@ impl LogController {
                     // and if that entry was discarded as silent, this one
                     // provides the rollback anchor the word needs.
                     if self.ur_buf.is_full() {
-                        self.evict_ur_front(now, mc).map_err(|_| StoreStall)?;
+                        self.evict_ur_front(now, mc)?;
                     }
                     self.ur_buf
                         .push(LogRecord::undo_redo(key, addr, old, new, delta), now)
@@ -279,6 +308,12 @@ impl LogController {
                 if delta != 0 || !self.has_dirty_flags() {
                     let ext = line.ext.as_mut().expect("ext installed above");
                     Self::enter_ulog(ext, w, delta);
+                    self.tracer.emit(now, || TraceEvent::WordTransition {
+                        key,
+                        addr: addr.as_u64(),
+                        from: WordStateTag::URLog,
+                        to: WordStateTag::ULog,
+                    });
                 }
             }
             WordLogState::ULog => {
@@ -313,7 +348,7 @@ impl LogController {
             return Ok(());
         }
         if self.ur_buf.is_full() {
-            self.evict_ur_front(now, mc).map_err(|_| StoreStall)?;
+            self.evict_ur_front(now, mc)?;
         }
         self.ur_buf
             .push(
@@ -373,7 +408,10 @@ impl LogController {
         if self.redo_buf.is_full() {
             if let Some(front) = self.redo_buf.front() {
                 let oldest = front.record;
-                if !matches!(self.flush_to_ring(oldest, now, mc), FlushOutcome::Blocked) {
+                if !matches!(
+                    self.flush_to_ring(oldest, now, mc),
+                    FlushOutcome::Blocked(_)
+                ) {
                     self.redo_buf.pop_front();
                 }
             }
@@ -441,7 +479,7 @@ impl LogController {
         // Write-ahead: undo entries for this line must persist before it.
         while let Some(p) = self.ur_buf.find_line_front(line_index) {
             match self.flush_to_ring(p.record, now, mc) {
-                FlushOutcome::Blocked => return false,
+                FlushOutcome::Blocked(_) => return false,
                 _ => {
                     self.ur_buf.remove(p.record.key, p.record.addr);
                 }
@@ -454,7 +492,7 @@ impl LogController {
         {
             let record = self.overflow[pos];
             match self.flush_to_ring(record, now, mc) {
-                FlushOutcome::Blocked => return false,
+                FlushOutcome::Blocked(_) => return false,
                 _ => {
                     self.overflow.remove(pos);
                 }
@@ -474,6 +512,10 @@ impl LogController {
         ulog_count: u32,
         now: Cycle,
     ) {
+        self.tracer.emit(now, || TraceEvent::CommitPhase {
+            key,
+            phase: CommitPhaseTag::Start,
+        });
         if self.design.delay_persistence() {
             // Instant commit: only the commit record (with the ulog counter)
             // is queued; it appends once the transaction's undo+redo entries
@@ -482,6 +524,10 @@ impl LogController {
             self.pending_records.push_back(
                 LogRecord::commit(key, Some(ulog_count)).with_timestamp(self.next_commit_ts),
             );
+            self.tracer.emit(now, || TraceEvent::CommitPhase {
+                key,
+                phase: CommitPhaseTag::Complete,
+            });
             return;
         }
         for wordinfo in ulog_words {
@@ -514,7 +560,7 @@ impl LogController {
         // 1. Overflow drains first (forced entries, eviction redo data).
         while let Some(&record) = self.overflow.front() {
             match self.flush_to_ring(record, now, mc) {
-                FlushOutcome::Blocked => break,
+                FlushOutcome::Blocked(_) => break,
                 outcome => {
                     self.overflow.pop_front();
                     if record.kind == LogRecordKind::UndoRedo {
@@ -535,7 +581,7 @@ impl LogController {
             }
             let record = front.record;
             match self.flush_to_ring(record, now, mc) {
-                FlushOutcome::Blocked => break,
+                FlushOutcome::Blocked(_) => break,
                 outcome => {
                     self.ur_buf.pop_front();
                     persisted.push(PersistedUr {
@@ -557,7 +603,7 @@ impl LogController {
                     .or_else(|| self.redo_buf.find_tx_front(key).map(|p| (false, p.record)));
                 let Some((is_ur, record)) = next else { break };
                 match self.flush_to_ring(record, now, mc) {
-                    FlushOutcome::Blocked => break,
+                    FlushOutcome::Blocked(_) => break,
                     outcome => {
                         if is_ur {
                             self.ur_buf.remove(record.key, record.addr);
@@ -583,7 +629,7 @@ impl LogController {
             }
             let record = front.record;
             match self.flush_to_ring(record, now, mc) {
-                FlushOutcome::Blocked => break,
+                FlushOutcome::Blocked(_) => break,
                 _ => {
                     self.redo_buf.pop_front();
                 }
@@ -596,7 +642,7 @@ impl LogController {
         while let Some(record) = self.pending_records.front().copied() {
             while let Some(p) = self.ur_buf.find_tx_front(record.key) {
                 match self.flush_to_ring(p.record, now, mc) {
-                    FlushOutcome::Blocked => break,
+                    FlushOutcome::Blocked(_) => break,
                     outcome => {
                         self.ur_buf.remove(p.record.key, p.record.addr);
                         persisted.push(PersistedUr {
@@ -615,6 +661,10 @@ impl LogController {
                     self.pending_records.pop_front();
                     self.stats.commit_records += 1;
                     self.commit_cycle.insert(record.key, now);
+                    self.tracer.emit(now, || TraceEvent::CommitPhase {
+                        key: record.key,
+                        phase: CommitPhaseTag::RecordPersisted,
+                    });
                 }
                 Err(LogAppendError::WqFull) => break,
                 Err(LogAppendError::RingFull(_)) => {
@@ -655,6 +705,10 @@ impl LogController {
                 }
                 self.stats.commit_stall_cycles += now.saturating_sub(p.started);
                 self.pending_commits.remove(&thread);
+                self.tracer.emit(now, || TraceEvent::CommitPhase {
+                    key: p.key,
+                    phase: CommitPhaseTag::Complete,
+                });
             }
         }
         persisted
@@ -668,11 +722,15 @@ impl LogController {
                 .any(|r| r.key == key && r.kind == LogRecordKind::UndoRedo)
     }
 
-    fn evict_ur_front(&mut self, now: Cycle, mc: &mut MemoryController) -> Result<PersistedUr, ()> {
-        let front = self.ur_buf.front().ok_or(())?;
+    fn evict_ur_front(
+        &mut self,
+        now: Cycle,
+        mc: &mut MemoryController,
+    ) -> Result<PersistedUr, StoreStall> {
+        let front = self.ur_buf.front().ok_or(StoreStall::Buffer)?;
         let record = front.record;
         match self.flush_to_ring(record, now, mc) {
-            FlushOutcome::Blocked => Err(()),
+            FlushOutcome::Blocked(why) => Err(why),
             outcome => {
                 self.ur_buf.pop_front();
                 Ok(PersistedUr {
@@ -702,10 +760,10 @@ impl LogController {
                 self.stats.entries_written += 1;
                 FlushOutcome::Written
             }
-            Err(LogAppendError::WqFull) => FlushOutcome::Blocked,
+            Err(LogAppendError::WqFull) => FlushOutcome::Blocked(StoreStall::WriteQueue),
             Err(LogAppendError::RingFull(_)) => {
                 self.stats.log_region_full_stalls += 1;
-                FlushOutcome::Blocked
+                FlushOutcome::Blocked(StoreStall::Buffer)
             }
         }
     }

@@ -40,6 +40,7 @@ use std::collections::{HashMap, HashSet};
 use morlog_nvm::controller::{MemoryController, ScannedRecord};
 use morlog_nvm::log::{LogRecord, LogRecordKind};
 use morlog_sim_core::ids::TxKey;
+use morlog_sim_core::trace::{RecoveryStepTag, TraceEvent};
 use morlog_sim_core::{Addr, ThreadId};
 
 /// What recovery did.
@@ -132,6 +133,12 @@ pub fn recover(mc: &mut MemoryController, delay_persistence: bool) -> RecoveryRe
     // `seq` ordering is enough within a transaction; commit order across
     // slices comes from the timestamps in the commit records.
     let scanned = mc.scan_log();
+    let tracer = mc.tracer().clone();
+    let at = mc.last_tick();
+    tracer.emit(at, || TraceEvent::Recovery {
+        step: RecoveryStepTag::Scan,
+        count: scanned.len() as u64,
+    });
     let mut report = RecoveryReport {
         records_scanned: scanned.len(),
         ..Default::default()
@@ -221,14 +228,25 @@ pub fn recover(mc: &mut MemoryController, delay_persistence: bool) -> RecoveryRe
         }
     }
 
+    tracer.emit(at, || TraceEvent::Recovery {
+        step: RecoveryStepTag::Winners,
+        count: winners.len() as u64,
+    });
+
     // Forward pass: winners in commit order, records in append order.
+    let mut redone_words = 0u64;
     for key in &winners {
         if let Some(recs) = by_tx.get(key) {
             for s in recs {
                 apply_word(mc, s.stored.record.addr, s.stored.record.redo);
+                redone_words += 1;
             }
         }
     }
+    tracer.emit(at, || TraceEvent::Recovery {
+        step: RecoveryStepTag::RollForward,
+        count: redone_words,
+    });
     report.redone = winners;
 
     // Backward pass. When several rolled-back transactions touched a word
@@ -268,6 +286,10 @@ pub fn recover(mc: &mut MemoryController, delay_persistence: bool) -> RecoveryRe
         }
     }
     undos.sort_by_key(|&(slice, seq, _, _)| (slice, seq));
+    tracer.emit(at, || TraceEvent::Recovery {
+        step: RecoveryStepTag::RollBack,
+        count: undos.len() as u64,
+    });
     for &(_, _, addr, undo) in undos.iter().rev() {
         apply_word(mc, addr, undo);
     }
@@ -287,6 +309,10 @@ pub fn recover(mc: &mut MemoryController, delay_persistence: bool) -> RecoveryRe
 
     // "After that, log entries are deleted by updating the log head pointer."
     mc.clear_log();
+    tracer.emit(at, || TraceEvent::Recovery {
+        step: RecoveryStepTag::Done,
+        count: report.undone.len() as u64,
+    });
     report
 }
 

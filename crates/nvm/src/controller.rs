@@ -18,6 +18,7 @@ use morlog_encoding::slde::{EncodingChoice, SldeCodec};
 use morlog_sim_core::fault::FaultPlan;
 use morlog_sim_core::ids::TxKey;
 use morlog_sim_core::stats::MemStats;
+use morlog_sim_core::trace::{LogKindTag, TraceEvent, Tracer};
 use morlog_sim_core::{Addr, Cycle, Frequency, LineAddr, LineData, MemConfig};
 
 use crate::layout::{line_to_channel_bank, MemoryMap, Region};
@@ -192,6 +193,15 @@ pub struct MemoryController {
     ///
     /// [`scan_log`]: MemoryController::scan_log
     torn_words: HashMap<(usize, u64), usize>,
+    /// Observability sink (disabled by default; see [`set_tracer`]).
+    ///
+    /// [`set_tracer`]: MemoryController::set_tracer
+    tracer: Tracer,
+    /// Cycle of the most recent [`tick`], used to stamp trace events from
+    /// un-timed entry points (truncation, crash).
+    ///
+    /// [`tick`]: MemoryController::tick
+    last_tick: Cycle,
 }
 
 impl MemoryController {
@@ -224,10 +234,30 @@ impl MemoryController {
             accept_seq: 0,
             wear: HashMap::new(),
             torn_words: HashMap::new(),
+            tracer: Tracer::disabled(),
+            last_tick: 0,
             cfg,
             freq,
             map,
         }
+    }
+
+    /// Installs the shared trace handle (see [`morlog_sim_core::trace`]).
+    /// Emits write-queue accept/drain events, log appends and truncations.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The trace handle in effect (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The cycle stamp of the most recent [`tick`](MemoryController::tick).
+    /// Untimed entry points (truncation, crash, recovery) use it to stamp
+    /// their trace events with the last simulated instant.
+    pub fn last_tick(&self) -> Cycle {
+        self.last_tick
     }
 
     /// Installs a fault-injection plan (see [`FaultPlan`]). With the default
@@ -282,6 +312,15 @@ impl MemoryController {
     }
 
     /// The slice a thread's records go to.
+    ///
+    /// With `threads > log_slices` (the fig. 16 regime), several threads
+    /// **share** one slice. This is safe despite the ring's
+    /// single-producer design because the cycle engine serializes all
+    /// appends through this controller — a slice sees one append at a
+    /// time, in a deterministic global order, and recovery orders commits
+    /// across slices by the commit-record timestamp rather than by ring
+    /// position (§III-F). The 16-threads × 4-slices regression test in
+    /// `morlog-sim` pins this down.
     pub fn log_slice_of(&self, thread: morlog_sim_core::ThreadId) -> usize {
         thread.index() % self.logs.len()
     }
@@ -352,7 +391,7 @@ impl MemoryController {
 
     /// Attempts to accept a 64-byte data write. DRAM writes always succeed;
     /// NVMM writes fail (`false`) when the channel's write queue is full.
-    pub fn try_write_data(&mut self, line: LineAddr, data: LineData, _now: Cycle) -> bool {
+    pub fn try_write_data(&mut self, line: LineAddr, data: LineData, now: Cycle) -> bool {
         match self.map.region(line.base()) {
             Region::Dram => {
                 self.dram.insert(line, data);
@@ -386,6 +425,12 @@ impl MemoryController {
                     accept_seq,
                     payload,
                 });
+                let occ = self.channels[ch].write_q.len() as u32;
+                self.tracer.emit(now, || TraceEvent::WqAccept {
+                    channel: ch as u32,
+                    occupancy: occ,
+                    is_log: false,
+                });
                 true
             }
         }
@@ -401,7 +446,7 @@ impl MemoryController {
     pub fn try_append_log(
         &mut self,
         record: LogRecord,
-        _now: Cycle,
+        now: Cycle,
     ) -> Result<StoredRecord, LogAppendError> {
         let slice = self.log_slice_of(record.key.thread);
         let log = &self.logs[slice];
@@ -467,6 +512,22 @@ impl MemoryController {
             accept_seq,
             payload,
         });
+        let occ = self.channels[ch].write_q.len() as u32;
+        self.tracer.emit(now, || TraceEvent::WqAccept {
+            channel: ch as u32,
+            occupancy: occ,
+            is_log: true,
+        });
+        self.tracer.emit(now, || TraceEvent::LogAppend {
+            slice: slice as u32,
+            offset: stored.offset,
+            kind: match stored.record.kind {
+                LogRecordKind::UndoRedo => LogKindTag::UndoRedo,
+                LogRecordKind::Redo => LogKindTag::Redo,
+                LogRecordKind::Commit => LogKindTag::Commit,
+            },
+            key: stored.record.key,
+        });
         Ok(stored)
     }
 
@@ -512,6 +573,7 @@ impl MemoryController {
     /// inactive plan this only empties the queues — writes were applied
     /// functionally at acceptance.
     pub fn crash_persist(&mut self) {
+        self.tracer.emit(self.last_tick, || TraceEvent::Crash);
         let mut inflight = Vec::new();
         for ch in &mut self.channels {
             inflight.extend(ch.write_q.drain(..));
@@ -595,12 +657,22 @@ impl MemoryController {
     ///
     /// [`truncate_log_slice`]: MemoryController::truncate_log_slice
     pub fn truncate_log(&mut self, offset: u64) {
-        self.logs[0].truncate_to(offset);
+        self.truncate_log_slice(0, offset);
     }
 
     /// Truncates one log slice up to `offset` (exclusive).
     pub fn truncate_log_slice(&mut self, slice: usize, offset: u64) {
+        let old_head = self.logs[slice].head();
         self.logs[slice].truncate_to(offset);
+        let new_head = self.logs[slice].head();
+        if new_head != old_head {
+            self.tracer
+                .emit(self.last_tick, || TraceEvent::LogTruncate {
+                    slice: slice as u32,
+                    old_head,
+                    new_head,
+                });
+        }
     }
 
     /// Empties every log slice (end of recovery: all entries deleted by
@@ -635,6 +707,7 @@ impl MemoryController {
     /// between iterations); the paused write's completion slips by the read
     /// duration plus a small resume overhead.
     pub fn tick(&mut self, now: Cycle) {
+        self.last_tick = now;
         let read_cycles = self
             .freq
             .ns_to_cycles(morlog_sim_core::NanoSeconds::new(self.cfg.read_latency_ns));
@@ -643,13 +716,23 @@ impl MemoryController {
             .ns_to_cycles(morlog_sim_core::NanoSeconds::new(WRITE_PAUSE_NS));
         let fault_active = self.fault_plan.is_active();
         let mut issued_writes: Vec<PendingWrite> = Vec::new();
-        for ch in &mut self.channels {
+        for (ci, ch) in self.channels.iter_mut().enumerate() {
             // WQF drain hysteresis.
             if !ch.draining && ch.write_q.len() >= self.high_mark {
                 ch.draining = true;
                 self.stats.drains += 1;
+                let occ = ch.write_q.len() as u32;
+                self.tracer.emit(now, || TraceEvent::WqDrainStart {
+                    channel: ci as u32,
+                    occupancy: occ,
+                });
             } else if ch.draining && ch.write_q.len() <= self.low_mark {
                 ch.draining = false;
+                let occ = ch.write_q.len() as u32;
+                self.tracer.emit(now, || TraceEvent::WqDrainEnd {
+                    channel: ci as u32,
+                    occupancy: occ,
+                });
             }
             // Issue loop: reads always have priority — write pausing lets
             // them preempt in-progress writes even mid-drain; writes go out

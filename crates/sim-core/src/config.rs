@@ -307,6 +307,28 @@ impl Default for LogConfig {
     }
 }
 
+/// Event-tracing configuration (see [`crate::trace`]).
+///
+/// Disabled by default; the `MORLOG_TRACE` environment variable can
+/// force-enable tracing for a run regardless of this struct (the bench
+/// harness reads it through [`crate::trace::Tracer::from_env`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Whether the system allocates a trace ring and emits events.
+    pub enabled: bool,
+    /// Ring capacity in records when enabled.
+    pub buffer_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            buffer_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
 /// Complete configuration of one simulated system.
 ///
 /// # Example
@@ -329,6 +351,8 @@ pub struct SystemConfig {
     pub mem: MemConfig,
     /// Logging parameters.
     pub log: LogConfig,
+    /// Event-tracing parameters (off by default; zero simulation impact).
+    pub trace: TraceConfig,
 }
 
 impl SystemConfig {
@@ -342,6 +366,7 @@ impl SystemConfig {
             hierarchy: HierarchyConfig::default(),
             mem: MemConfig::default(),
             log: LogConfig::default(),
+            trace: TraceConfig::default(),
         };
         if design == DesignKind::FwbUnsafe {
             cfg.log.undo_redo_entries += cfg.log.redo_entries;

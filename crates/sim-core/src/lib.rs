@@ -30,10 +30,12 @@ pub mod ids;
 pub mod rng;
 pub mod stats;
 pub mod timing;
+pub mod trace;
 pub mod types;
 
 pub use config::{
     CacheLevelConfig, CoreConfig, DesignKind, HierarchyConfig, LogConfig, MemConfig, SystemConfig,
+    TraceConfig,
 };
 pub use fault::FaultPlan;
 pub use ids::{ThreadId, TxId};

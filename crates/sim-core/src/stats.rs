@@ -167,6 +167,112 @@ impl LogStats {
     }
 }
 
+/// Where one core-cycle went, for the cycle-attribution profiler.
+///
+/// The engine classifies every core × cycle pair into exactly one of
+/// these buckets, so a run's [`CycleAttribution`] accounts sum exactly
+/// to `cycles × cores`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// Issuing instructions: compute, cache-hit service, store retire,
+    /// transaction begin — the productive bucket.
+    Busy,
+    /// Waiting for a memory read (cache-miss service).
+    ReadWait,
+    /// Waiting for a memory read while a write-queue drain was in
+    /// progress (drain interference on the read path).
+    DrainWait,
+    /// A store stalled on on-chip log-buffer backpressure.
+    LogBufferStall,
+    /// A store stalled because its log flush found the NVMM write queue
+    /// full.
+    WqStall,
+    /// Waiting for commit: log persistence at `Tx_End`, or the §III-A
+    /// transaction-begin backpressure behind a commit backlog.
+    CommitWait,
+    /// The core finished its trace while others were still running.
+    Idle,
+}
+
+/// Per-component cycle accounts: how many core-cycles each stall class
+/// consumed. All fields are in **core-cycles** (8 cores running for 10
+/// cycles contribute 80), so the accounts of one run sum exactly to
+/// `SimStats::cycles × cores` — the profiler's invariant, checked by
+/// [`CycleAttribution::total`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleAttribution {
+    /// Core-cycles spent issuing (compute, cache hits, store retire).
+    pub busy: u64,
+    /// Core-cycles waiting on cache-miss read service.
+    pub read_wait: u64,
+    /// Core-cycles waiting on reads delayed by a write-queue drain.
+    pub drain_wait: u64,
+    /// Core-cycles stores stalled on log-buffer backpressure.
+    pub log_buffer_stall: u64,
+    /// Core-cycles stores stalled on a full NVMM write queue.
+    pub wq_stall: u64,
+    /// Core-cycles waiting for commit persistence or begin backpressure.
+    pub commit_wait: u64,
+    /// Core-cycles idle after a core retired its whole trace.
+    pub idle: u64,
+}
+
+impl CycleAttribution {
+    /// Stable column labels, in field order (for tables and JSON).
+    pub const LABELS: [&'static str; 7] = [
+        "busy",
+        "read_wait",
+        "drain_wait",
+        "log_buffer_stall",
+        "wq_stall",
+        "commit_wait",
+        "idle",
+    ];
+
+    /// Charges one core-cycle to `kind`.
+    pub fn add(&mut self, kind: StallKind) {
+        match kind {
+            StallKind::Busy => self.busy += 1,
+            StallKind::ReadWait => self.read_wait += 1,
+            StallKind::DrainWait => self.drain_wait += 1,
+            StallKind::LogBufferStall => self.log_buffer_stall += 1,
+            StallKind::WqStall => self.wq_stall += 1,
+            StallKind::CommitWait => self.commit_wait += 1,
+            StallKind::Idle => self.idle += 1,
+        }
+    }
+
+    /// The accounts in [`CycleAttribution::LABELS`] order.
+    pub fn values(&self) -> [u64; 7] {
+        [
+            self.busy,
+            self.read_wait,
+            self.drain_wait,
+            self.log_buffer_stall,
+            self.wq_stall,
+            self.commit_wait,
+            self.idle,
+        ]
+    }
+
+    /// Sum of all accounts. Equals `cycles × cores` for a completed run
+    /// (the attribution invariant).
+    pub fn total(&self) -> u64 {
+        self.values().iter().sum()
+    }
+
+    /// Adds another run's accounts into this one.
+    pub fn merge(&mut self, other: &CycleAttribution) {
+        self.busy += other.busy;
+        self.read_wait += other.read_wait;
+        self.drain_wait += other.drain_wait;
+        self.log_buffer_stall += other.log_buffer_stall;
+        self.wq_stall += other.wq_stall;
+        self.commit_wait += other.commit_wait;
+        self.idle += other.idle;
+    }
+}
+
 /// Whole-run statistics for one simulated system.
 ///
 /// # Example
@@ -195,6 +301,9 @@ pub struct SimStats {
     pub mem: MemStats,
     /// Logging counters.
     pub log: LogStats,
+    /// Cycle-attribution accounts (core-cycles per stall class; sum is
+    /// exactly `cycles × cores` for a completed run).
+    pub attr: CycleAttribution,
 }
 
 impl SimStats {
@@ -221,6 +330,7 @@ impl SimStats {
         }
         self.mem.merge(&other.mem);
         self.log.merge(&other.log);
+        self.attr.merge(&other.attr);
     }
 }
 
@@ -281,6 +391,23 @@ mod tests {
         assert_eq!(a.mem.nvmm_writes, 30);
         assert_eq!(a.cache[0].hits, 12);
         assert_eq!(a.log.coalesced, 5);
+    }
+
+    #[test]
+    fn attribution_accounts_add_and_total() {
+        let mut a = CycleAttribution::default();
+        a.add(StallKind::Busy);
+        a.add(StallKind::Busy);
+        a.add(StallKind::WqStall);
+        a.add(StallKind::Idle);
+        assert_eq!(a.busy, 2);
+        assert_eq!(a.wq_stall, 1);
+        assert_eq!(a.total(), 4);
+        let mut b = CycleAttribution::default();
+        b.add(StallKind::CommitWait);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.values().len(), CycleAttribution::LABELS.len());
     }
 
     #[test]

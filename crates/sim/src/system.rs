@@ -8,13 +8,15 @@ use morlog_cache::hierarchy::{AccessOutcome, EvictionEvent, Hierarchy};
 use morlog_cache::line::WordLogState;
 use morlog_encoding::cell::CellModel;
 use morlog_encoding::slde::SldeCodec;
-use morlog_logging::controller::{LogController, UlogWord};
+use morlog_logging::controller::{LogController, StoreStall, UlogWord};
 use morlog_logging::recovery::{recover, RecoveryReport};
 use morlog_logging::txtable::TransactionTable;
 use morlog_nvm::controller::{MemoryController, ReadTicket};
 use morlog_nvm::layout::MemoryMap;
 use morlog_sim_core::fault::FaultPlan;
 use morlog_sim_core::ids::TxKey;
+use morlog_sim_core::stats::{CycleAttribution, StallKind};
+use morlog_sim_core::trace::{CommitPhaseTag, TraceEvent, Tracer, WordStateTag};
 use morlog_sim_core::{Addr, Cycle, LineAddr, LineData, SimStats, SystemConfig, ThreadId};
 use morlog_workloads::trace::{Op, WorkloadTrace};
 
@@ -37,6 +39,10 @@ struct Core {
     phase: Phase,
     key: Option<TxKey>,
     tx_began: bool,
+    /// What a `BusyUntil` wait is charged to in the cycle-attribution
+    /// accounts: `Busy` for pipeline latency, `CommitWait` for log
+    /// backpressure at transaction begin.
+    busy_kind: StallKind,
 }
 
 /// One simulated machine running one workload under one design.
@@ -85,6 +91,14 @@ pub struct System {
     /// delay-persistence, persistence intentionally trails commit).
     finish_cycle: Option<Cycle>,
     oracle: Oracle,
+    /// Shared observability sink (see [`morlog_sim_core::trace`]); the same
+    /// handle is installed in the memory controller, log controller and
+    /// cache hierarchy so events from every component land in one stream.
+    tracer: Tracer,
+    /// Per-component cycle accounts. For every simulated cycle before
+    /// `finish_cycle`, each core contributes exactly one unit to exactly
+    /// one account, so `attr.total() == cycles * cores`.
+    attr: CycleAttribution,
 }
 
 impl System {
@@ -144,10 +158,17 @@ impl System {
         );
         let codec = Self::codec_for(&cfg, expansion);
         let map = MemoryMap::table_iii(cfg.mem.log_region_bytes as u64);
+        let tracer = if cfg.trace.enabled {
+            Tracer::with_capacity(cfg.trace.buffer_capacity)
+        } else {
+            Tracer::from_env()
+        };
         let mut mc = MemoryController::new(cfg.mem, cfg.cores.frequency, map, codec);
         mc.set_secure_mode(secure);
+        mc.set_tracer(tracer.clone());
         let mut lc = LogController::new(cfg.design, cfg.log);
         lc.set_secure_mode(secure);
+        lc.set_tracer(tracer.clone());
         let mut oracle = Oracle::new();
         for thread in &trace.threads {
             oracle.record_initial(&thread.initial);
@@ -166,10 +187,13 @@ impl System {
                 phase: Phase::Ready,
                 key: None,
                 tx_began: false,
+                busy_kind: StallKind::Busy,
             })
             .collect();
+        let mut hierarchy = Hierarchy::new(&cfg.hierarchy, cfg.cores.cores);
+        hierarchy.set_tracer(tracer.clone());
         System {
-            hierarchy: Hierarchy::new(&cfg.hierarchy, cfg.cores.cores),
+            hierarchy,
             lc,
             fwb: FwbScheduler::new(cfg.hierarchy.force_write_back_period),
             cores,
@@ -184,9 +208,17 @@ impl System {
             store_stall_cycles: 0,
             finish_cycle: None,
             oracle,
+            tracer,
+            attr: CycleAttribution::default(),
             mc,
             cfg,
         }
+    }
+
+    /// The shared trace handle (disabled unless the configuration or the
+    /// `MORLOG_TRACE` environment variable enabled it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current simulated cycle.
@@ -240,6 +272,11 @@ impl System {
             }
         }
         self.finish_cycle = Some(self.now);
+        debug_assert_eq!(
+            self.attr.total(),
+            self.now * self.cores.len() as u64,
+            "cycle attribution must account every core-cycle exactly once"
+        );
         self.quiesce();
         self.stats()
     }
@@ -286,10 +323,12 @@ impl System {
                 l.buffer_full_stall_cycles += self.store_stall_cycles;
                 l
             },
+            attr: self.attr,
         }
     }
 
     fn step_cycle(&mut self) {
+        self.hierarchy.set_now(self.now);
         self.mc.tick(self.now);
         let persisted = self.lc.tick(self.now, &mut self.mc);
         for p in persisted {
@@ -297,14 +336,22 @@ impl System {
                 if let Some(ext) = line.ext.as_mut() {
                     let w = p.addr.word_index();
                     if ext.owner == p.key && ext.word_state[w] == WordLogState::Dirty {
-                        if p.silent {
+                        let to = if p.silent {
                             // Silent log write discarded: no undo anchor in
                             // the log, so the word must restart from Clean.
                             ext.word_state[w] = WordLogState::Clean;
                             ext.dirty_flags[w] = 0;
+                            WordStateTag::Clean
                         } else {
                             ext.word_state[w] = WordLogState::URLog;
-                        }
+                            WordStateTag::URLog
+                        };
+                        self.tracer.emit(self.now, || TraceEvent::WordTransition {
+                            key: p.key,
+                            addr: p.addr.as_u64(),
+                            from: WordStateTag::Dirty,
+                            to,
+                        });
                     }
                 }
             }
@@ -339,7 +386,12 @@ impl System {
             self.lc.truncate_with_table(&self.tx_table, &mut self.mc);
         }
         for i in 0..self.cores.len() {
-            self.step_core(i);
+            let kind = self.step_core(i);
+            // The attribution clock stops with the throughput clock: the
+            // quiesce tail after the last commit is not execution time.
+            if self.finish_cycle.is_none() {
+                self.attr.add(kind);
+            }
         }
         self.now += 1;
     }
@@ -376,13 +428,17 @@ impl System {
         }
     }
 
-    fn step_core(&mut self, i: usize) {
+    /// Advances one core by one cycle and reports which attribution
+    /// account the cycle belongs to (exactly one per core per cycle).
+    fn step_core(&mut self, i: usize) -> StallKind {
         match self.cores[i].phase {
-            Phase::Done => {}
+            Phase::Done => StallKind::Idle,
             Phase::BusyUntil(t) => {
                 if self.now >= t {
                     self.cores[i].phase = Phase::Ready;
-                    self.issue(i);
+                    self.issue(i)
+                } else {
+                    self.cores[i].busy_kind
                 }
             }
             Phase::WaitRead(ticket, line) => {
@@ -391,50 +447,66 @@ impl System {
                     let events = self.hierarchy.fill(i, line, data);
                     self.handle_events(events);
                     // Retry the op next cycle with the line resident.
+                    self.cores[i].busy_kind = StallKind::Busy;
                     self.cores[i].phase = Phase::BusyUntil(self.now + 1);
+                }
+                // A read held behind a write-queue drain is charged to the
+                // drain, not to plain read latency.
+                if self.mc.any_channel_draining() {
+                    StallKind::DrainWait
+                } else {
+                    StallKind::ReadWait
                 }
             }
             Phase::WaitCommit => {
                 if !self.lc.is_commit_pending(self.cores[i].thread) {
                     self.finish_commit(i);
                 }
+                StallKind::CommitWait
             }
             Phase::Ready => self.issue(i),
         }
     }
 
-    fn issue(&mut self, i: usize) {
+    fn issue(&mut self, i: usize) -> StallKind {
         let thread = self.cores[i].thread;
         let tx_idx = self.cores[i].tx_idx;
         if tx_idx >= self.trace.threads[i].transactions.len() {
             self.cores[i].phase = Phase::Done;
-            return;
+            return StallKind::Idle;
         }
         if !self.cores[i].tx_began {
             // Log backpressure: do not open new transactions while commit
             // records are piling up behind a full log region (§III-A).
             if self.lc.commit_backlog() > 4 * self.cores.len() {
+                self.cores[i].busy_kind = StallKind::CommitWait;
                 self.cores[i].phase = Phase::BusyUntil(self.now + 16);
-                return;
+                return StallKind::CommitWait;
             }
             let key = self.lc.tx_begin(thread);
             self.oracle.begin(key);
+            self.tracer.emit(self.now, || TraceEvent::CommitPhase {
+                key,
+                phase: CommitPhaseTag::Begin,
+            });
             self.cores[i].key = Some(key);
             self.cores[i].tx_began = true;
+            self.cores[i].busy_kind = StallKind::Busy;
             self.cores[i].phase = Phase::BusyUntil(self.now + 1);
-            return;
+            return StallKind::Busy;
         }
         let op_idx = self.cores[i].op_idx;
         let ops_len = self.trace.threads[i].transactions[tx_idx].ops.len();
         if op_idx >= ops_len {
-            self.start_commit(i);
-            return;
+            return self.start_commit(i);
         }
         let op = self.trace.threads[i].transactions[tx_idx].ops[op_idx];
         match op {
             Op::Compute(cycles) => {
                 self.cores[i].op_idx += 1;
+                self.cores[i].busy_kind = StallKind::Busy;
                 self.cores[i].phase = Phase::BusyUntil(self.now + cycles as Cycle);
+                StallKind::Busy
             }
             Op::Load(addr) => {
                 let (outcome, events) = self.hierarchy.access(i, addr.line());
@@ -443,12 +515,15 @@ impl System {
                     AccessOutcome::Miss => {
                         let ticket = self.mc.enqueue_read(addr.line(), self.now);
                         self.cores[i].phase = Phase::WaitRead(ticket, addr.line());
+                        StallKind::ReadWait
                     }
                     hit => {
                         self.tx_loads += 1;
                         self.cores[i].op_idx += 1;
+                        self.cores[i].busy_kind = StallKind::Busy;
                         self.cores[i].phase =
                             Phase::BusyUntil(self.now + hit.latency(&self.cfg.hierarchy));
+                        StallKind::Busy
                     }
                 }
             }
@@ -456,7 +531,7 @@ impl System {
         }
     }
 
-    fn issue_store(&mut self, i: usize, addr: Addr, value: u64) {
+    fn issue_store(&mut self, i: usize, addr: Addr, value: u64) -> StallKind {
         let key = self.cores[i].key.expect("store inside a transaction");
         let line_addr = addr.line();
         if self.hierarchy.l1_line_mut(i, line_addr).is_none() {
@@ -467,15 +542,17 @@ impl System {
                 AccessOutcome::Miss => {
                     let ticket = self.mc.enqueue_read(line_addr, self.now);
                     self.cores[i].phase = Phase::WaitRead(ticket, line_addr);
+                    return StallKind::ReadWait;
                 }
                 hit => {
                     // Line is now resident; perform the store after the
                     // lookup latency.
+                    self.cores[i].busy_kind = StallKind::Busy;
                     self.cores[i].phase =
                         Phase::BusyUntil(self.now + hit.latency(&self.cfg.hierarchy));
+                    return StallKind::Busy;
                 }
             }
-            return;
         }
         let w = addr.word_index();
         let line = self.hierarchy.l1_line_mut(i, line_addr).expect("resident");
@@ -484,9 +561,13 @@ impl System {
             .lc
             .on_store(key, addr, old, value, line, self.now, &mut self.mc)
         {
-            Err(_) => {
+            Err(why) => {
                 // Buffer backpressure: retry next cycle.
                 self.store_stall_cycles += 1;
+                match why {
+                    StoreStall::Buffer => StallKind::LogBufferStall,
+                    StoreStall::WriteQueue => StallKind::WqStall,
+                }
             }
             Ok(()) => {
                 if self.cfg.log.truncation
@@ -506,12 +587,14 @@ impl System {
                 self.cores[i].op_idx += 1;
                 // Stores retire through the store buffer at one per cycle
                 // when the line is resident; misses block (write-allocate).
+                self.cores[i].busy_kind = StallKind::Busy;
                 self.cores[i].phase = Phase::BusyUntil(self.now + 1);
+                StallKind::Busy
             }
         }
     }
 
-    fn start_commit(&mut self, i: usize) {
+    fn start_commit(&mut self, i: usize) -> StallKind {
         let key = self.cores[i].key.expect("commit inside a transaction");
         let dp = self.cfg.design.delay_persistence();
         let mut ulog_words = Vec::new();
@@ -537,6 +620,12 @@ impl System {
                                     dirty_mask: ext.dirty_flags[w],
                                 });
                                 ext.word_state[w] = WordLogState::URLog;
+                                self.tracer.emit(self.now, || TraceEvent::WordTransition {
+                                    key,
+                                    addr: addr.word_addr(w).as_u64(),
+                                    from: WordStateTag::ULog,
+                                    to: WordStateTag::URLog,
+                                });
                             }
                         }
                     }
@@ -547,8 +636,10 @@ impl System {
         if dp {
             // Instant commit (§III-C).
             self.finish_commit(i);
+            StallKind::Busy
         } else {
             self.cores[i].phase = Phase::WaitCommit;
+            StallKind::CommitWait
         }
     }
 
@@ -556,7 +647,9 @@ impl System {
         let key = self.cores[i].key.expect("commit inside a transaction");
         let dp = self.cfg.design.delay_persistence();
         if self.cfg.design.is_morlog() {
+            let trace_on = self.tracer.is_enabled();
             for line in self.hierarchy.l1_lines_mut(i) {
+                let addr = line.addr;
                 if let Some(ext) = line.ext.as_mut() {
                     if ext.owner != key {
                         continue;
@@ -568,11 +661,31 @@ impl System {
                             if ext.word_state[w] != WordLogState::ULog
                                 && ext.word_state[w] != WordLogState::Dirty
                             {
+                                if trace_on && ext.word_state[w] == WordLogState::URLog {
+                                    self.tracer.emit(self.now, || TraceEvent::WordTransition {
+                                        key,
+                                        addr: addr.word_addr(w).as_u64(),
+                                        from: WordStateTag::URLog,
+                                        to: WordStateTag::Clean,
+                                    });
+                                }
                                 ext.word_state[w] = WordLogState::Clean;
                                 ext.dirty_flags[w] = 0;
                             }
                         }
                     } else {
+                        if trace_on {
+                            for w in 0..morlog_sim_core::WORDS_PER_LINE {
+                                if ext.word_state[w] == WordLogState::URLog {
+                                    self.tracer.emit(self.now, || TraceEvent::WordTransition {
+                                        key,
+                                        addr: addr.word_addr(w).as_u64(),
+                                        from: WordStateTag::URLog,
+                                        to: WordStateTag::Clean,
+                                    });
+                                }
+                            }
+                        }
                         ext.reset();
                     }
                 }
