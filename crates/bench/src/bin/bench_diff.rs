@@ -1,0 +1,189 @@
+//! Schema-aware perf-regression gate over `results/*.json` documents.
+//!
+//! ```text
+//! bench_diff <baseline> <candidate> [--threshold <pct>]
+//! ```
+//!
+//! `baseline` and `candidate` are either two JSON files or two
+//! directories (compared pairwise by file name over their `.json`
+//! intersection). Volatile fields (`wall_ms`, `git`, `jobs`) are
+//! excluded; every other metric — counters, histogram buckets, series
+//! samples — is compared exactly, and non-zero deltas are printed as
+//! per-metric percentages.
+//!
+//! The threshold defaults to 2% and can be set with `--threshold` or
+//! the `MORLOG_DIFF_THRESHOLD` environment variable (the flag wins).
+//!
+//! Exit codes: 0 — no delta beyond the threshold; 1 — a regression
+//! tripped the threshold or the trees are structurally incomparable;
+//! 2 — usage or malformed-input error (matching `MORLOG_TXS` /
+//! `MORLOG_JOBS` strictness).
+
+use std::path::{Path, PathBuf};
+
+use morlog_bench::diff::{self, DocumentDiff, MetricDelta};
+use morlog_bench::json;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff <baseline> <candidate> [--threshold <pct>]");
+    eprintln!("  baseline/candidate: results JSON files, or directories of them");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut threshold: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                let Some(raw) = args.get(i + 1) else {
+                    eprintln!("error: --threshold needs a value");
+                    std::process::exit(2);
+                };
+                match diff::parse_threshold(raw) {
+                    Ok(v) => threshold = Some(v),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag {flag:?}");
+                std::process::exit(2);
+            }
+            path => {
+                paths.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let threshold = threshold.unwrap_or_else(diff::threshold_from_env);
+    let (base, cand) = (&paths[0], &paths[1]);
+
+    let pairs = match (base.is_dir(), cand.is_dir()) {
+        (true, true) => dir_pairs(base, cand),
+        (false, false) => vec![(base.clone(), cand.clone())],
+        _ => {
+            eprintln!(
+                "error: {} and {} must both be files or both be directories",
+                base.display(),
+                cand.display()
+            );
+            std::process::exit(2);
+        }
+    };
+    if pairs.is_empty() {
+        eprintln!("error: no common *.json files to compare");
+        std::process::exit(1);
+    }
+
+    let mut failed = false;
+    let mut total_compared = 0usize;
+    let mut total_deltas = 0usize;
+    for (b, c) in &pairs {
+        match diff_files(b, c) {
+            Err(e) => {
+                println!("== {} vs {}: ERROR: {e}", b.display(), c.display());
+                failed = true;
+            }
+            Ok(d) => {
+                total_compared += d.compared;
+                total_deltas += d.deltas.len();
+                let regressions = d.regressions(threshold);
+                println!(
+                    "== {} vs {}: {} metrics compared, {} differ, {} beyond {threshold}%",
+                    b.display(),
+                    c.display(),
+                    d.compared,
+                    d.deltas.len(),
+                    regressions.len()
+                );
+                for delta in &d.deltas {
+                    print_delta(delta, delta.exceeds(threshold));
+                }
+                if !regressions.is_empty() {
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        println!("FAIL: deltas beyond the {threshold}% threshold");
+        std::process::exit(1);
+    }
+    println!("OK: {total_compared} metrics compared, {total_deltas} small deltas, none beyond {threshold}%");
+}
+
+fn print_delta(d: &MetricDelta, beyond: bool) {
+    let marker = if beyond { "REGRESSION" } else { "delta" };
+    let fmt = |v: Option<f64>| match v {
+        None => "-".to_string(),
+        Some(x) => format!("{x}"),
+    };
+    let pct = d.delta_pct();
+    let pct_text = if pct.is_infinite() {
+        "structural".to_string()
+    } else {
+        format!("{pct:+.3}%")
+    };
+    println!(
+        "  {marker}: {} {} -> {} ({pct_text})",
+        d.path,
+        fmt(d.base),
+        fmt(d.cand)
+    );
+}
+
+fn diff_files(base: &Path, cand: &Path) -> Result<DocumentDiff, String> {
+    let read = |p: &Path| -> Result<json::Json, String> {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        json::parse(&text).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    diff::diff_documents(&read(base)?, &read(cand)?)
+}
+
+/// The `.json` files present in both directories, paired by file name
+/// and sorted for deterministic output. Files present on only one side
+/// are listed on stderr but do not fail the gate (bench binaries come
+/// and go between baselines).
+fn dir_pairs(base: &Path, cand: &Path) -> Vec<(PathBuf, PathBuf)> {
+    let names = |dir: &Path| -> Vec<String> {
+        let mut out: Vec<String> = std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .filter(|n| n.ends_with(".json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
+    };
+    let base_names = names(base);
+    let cand_names = names(cand);
+    for n in &base_names {
+        if !cand_names.contains(n) {
+            eprintln!("note: {n} only in baseline {}", base.display());
+        }
+    }
+    for n in &cand_names {
+        if !base_names.contains(n) {
+            eprintln!("note: {n} only in candidate {}", cand.display());
+        }
+    }
+    base_names
+        .into_iter()
+        .filter(|n| cand_names.contains(n))
+        .map(|n| (base.join(&n), cand.join(&n)))
+        .collect()
+}

@@ -1,6 +1,6 @@
 //! Quick sanity harness: per-design throughput/traffic/energy on one workload.
 use morlog_bench::results::ResultSink;
-use morlog_bench::{print_stall_breakdown, RunSpec, SweepRunner};
+use morlog_bench::{print_commit_latency_table, print_stall_breakdown, RunSpec, SweepRunner};
 use morlog_sim_core::DesignKind;
 use morlog_workloads::WorkloadKind;
 
@@ -56,5 +56,10 @@ fn main() {
     println!();
     let reports: Vec<_> = runs.iter().map(|t| t.report.clone()).collect();
     print_stall_breakdown(&reports);
+    // Commit-latency distributions: under delay-persistence the
+    // "complete" columns collapse to the commit request while the
+    // "persist" columns keep the record-drain time (§III-C).
+    println!();
+    print_commit_latency_table(&reports);
     sink.finish();
 }

@@ -1,0 +1,132 @@
+//! Converts `MORLOG_TRACE_DIR` JSONL traces into Chrome `trace_event`
+//! JSON, openable at <https://ui.perfetto.dev>.
+//!
+//! ```text
+//! trace2perfetto <trace.jsonl | dir>... [--out <dir>]
+//! ```
+//!
+//! Each input file produces `<stem>.perfetto.json` next to it (or under
+//! `--out <dir>` when given); directories are expanded to their
+//! `*.jsonl` files. A per-file summary of spans, counters, ignored and
+//! unmatched events is printed to stderr.
+//!
+//! Exit codes: 0 — all inputs converted; 1 — a conversion failed;
+//! 2 — usage error.
+
+use std::path::{Path, PathBuf};
+
+use morlog_bench::perfetto;
+
+fn usage() -> ! {
+    eprintln!("usage: trace2perfetto <trace.jsonl | dir>... [--out <dir>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("error: --out needs a directory");
+                    std::process::exit(2);
+                };
+                out_dir = Some(PathBuf::from(dir));
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag {flag:?}");
+                std::process::exit(2);
+            }
+            path => {
+                inputs.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+
+    let files = expand_inputs(&inputs);
+    if files.is_empty() {
+        eprintln!("error: no *.jsonl trace files found");
+        std::process::exit(1);
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    let mut failed = false;
+    for file in &files {
+        match convert_file(file, out_dir.as_deref()) {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn convert_file(input: &Path, out_dir: Option<&Path>) -> Result<(), String> {
+    let text = std::fs::read_to_string(input)
+        .map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+    let converted =
+        perfetto::convert_jsonl(&text).map_err(|e| format!("{}: {e}", input.display()))?;
+    let stem = input
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let out_name = format!("{stem}.perfetto.json");
+    let out_path = match out_dir {
+        Some(dir) => dir.join(&out_name),
+        None => input.with_file_name(&out_name),
+    };
+    std::fs::write(&out_path, converted.trace.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+    eprintln!(
+        "{} -> {}: {} spans, {} counter samples, {} ignored, {} unmatched",
+        input.display(),
+        out_path.display(),
+        converted.spans,
+        converted.counter_events,
+        converted.ignored,
+        converted.unmatched
+    );
+    Ok(())
+}
+
+/// Expands directory arguments to their `*.jsonl` members (sorted for
+/// deterministic processing order); file arguments pass through as-is.
+fn expand_inputs(inputs: &[PathBuf]) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            let mut members: Vec<PathBuf> = std::fs::read_dir(input)
+                .map(|entries| {
+                    entries
+                        .filter_map(|e| e.ok())
+                        .map(|e| e.path())
+                        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            members.sort();
+            files.extend(members);
+        } else {
+            files.push(input.clone());
+        }
+    }
+    files
+}

@@ -1,5 +1,9 @@
 //! Schema checker for observability artifacts: validates JSONL event
-//! traces (`MORLOG_TRACE_DIR` dumps) and `results/*.json` documents.
+//! traces (`MORLOG_TRACE_DIR` dumps) and schema-v3 `results/*.json`
+//! documents — including the `stats.hist.*` commit-latency/entry-size
+//! histograms and the `stats.series.*` sampled occupancy series that
+//! v3 added (bucket sums, quantile ordering and series alignment are
+//! all checked by `validate_document`).
 //!
 //! Usage: `trace_lint <path>...` — each path is a `.jsonl` trace, a
 //! `.json` results document, or a directory scanned (non-recursively) for

@@ -1,0 +1,347 @@
+//! Schema-aware comparison of two `results/*.json` documents — the
+//! engine behind the `bench_diff` binary and the CI perf-regression
+//! gate.
+//!
+//! Both documents are validated against the current schema, then every
+//! leaf value is flattened to a `path → value` map (e.g.
+//! `records[3].stats.mem.nvmm_writes`) and the maps are compared.
+//! Records are matched by position: the simulation is deterministic and
+//! every bench binary emits records in a fixed order, so index identity
+//! is exact — a record-count mismatch is reported as a structural
+//! difference rather than fuzzily matched.
+//!
+//! Volatile envelope fields that legitimately differ between two runs
+//! of the same code (`wall_ms`, `git`, `jobs`) are excluded from the
+//! comparison; everything else, including every histogram bucket and
+//! series sample, participates. Two identical runs therefore diff to
+//! zero, and any simulated-behaviour change shows up as a per-metric
+//! percentage delta.
+
+use crate::json::Json;
+
+/// Environment variable overriding the regression threshold (percent).
+pub const DIFF_THRESHOLD_ENV: &str = "MORLOG_DIFF_THRESHOLD";
+
+/// Default regression threshold: any metric moving more than this many
+/// percent (in either direction) trips the gate.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 2.0;
+
+/// Fields excluded from comparison wherever they appear: host
+/// wall-clock (envelope and per-record), the git stamp, and sweep
+/// parallelism are properties of the *run*, not of the simulated
+/// behaviour the gate protects.
+const SKIP_FIELDS: [&str; 3] = ["wall_ms", "git", "jobs"];
+
+/// Parses a regression threshold in percent: a finite, non-negative
+/// number.
+pub fn parse_threshold(raw: &str) -> Result<f64, String> {
+    let trimmed = raw.trim();
+    let parsed: f64 = trimmed
+        .parse()
+        .map_err(|_| format!("regression threshold must be a percentage, got {raw:?}"))?;
+    if !parsed.is_finite() || parsed < 0.0 {
+        return Err(format!(
+            "regression threshold must be finite and >= 0, got {raw:?}"
+        ));
+    }
+    Ok(parsed)
+}
+
+/// Reads the threshold from `MORLOG_DIFF_THRESHOLD`, falling back to
+/// [`DEFAULT_THRESHOLD_PCT`] when unset. Exits with code 2 on a
+/// malformed value, matching the `MORLOG_TXS` / `MORLOG_JOBS`
+/// convention.
+pub fn threshold_from_env() -> f64 {
+    match std::env::var(DIFF_THRESHOLD_ENV) {
+        Err(_) => DEFAULT_THRESHOLD_PCT,
+        Ok(raw) => match parse_threshold(&raw) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {DIFF_THRESHOLD_ENV}: {e}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// One differing metric between baseline and candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Flattened path of the metric, e.g. `records[0].stats.cycles`.
+    pub path: String,
+    /// Baseline value (`None` when the path only exists in the
+    /// candidate).
+    pub base: Option<f64>,
+    /// Candidate value (`None` when the path only exists in the
+    /// baseline).
+    pub cand: Option<f64>,
+}
+
+impl MetricDelta {
+    /// Percentage change from baseline to candidate. Structural
+    /// differences (a path present on only one side, or a non-numeric
+    /// mismatch) and changes away from a zero baseline report
+    /// `f64::INFINITY`, so they always exceed any threshold.
+    pub fn delta_pct(&self) -> f64 {
+        match (self.base, self.cand) {
+            (Some(b), Some(c)) => {
+                if b == c {
+                    0.0
+                } else if b == 0.0 {
+                    f64::INFINITY
+                } else {
+                    (c - b) / b * 100.0
+                }
+            }
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Whether this delta exceeds a threshold in either direction.
+    pub fn exceeds(&self, threshold_pct: f64) -> bool {
+        self.delta_pct().abs() > threshold_pct
+    }
+}
+
+/// The outcome of diffing two documents.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentDiff {
+    /// Total number of leaf metrics compared.
+    pub compared: usize,
+    /// Metrics whose values differ (empty for identical runs).
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl DocumentDiff {
+    /// The deltas that exceed `threshold_pct`.
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.exceeds(threshold_pct))
+            .collect()
+    }
+}
+
+/// A flattened leaf value. Strings and bools are hashed into the
+/// comparison as exact-match values: a mismatch is structural (reported
+/// as infinite delta), never a percentage.
+#[derive(Debug, Clone, PartialEq)]
+enum Leaf {
+    Num(f64),
+    Text(String),
+}
+
+fn flatten(value: &Json, path: &str, out: &mut Vec<(String, Leaf)>) {
+    match value {
+        Json::Null => out.push((path.to_string(), Leaf::Text("null".into()))),
+        Json::Bool(b) => out.push((path.to_string(), Leaf::Text(b.to_string()))),
+        Json::UInt(n) => out.push((path.to_string(), Leaf::Num(*n as f64))),
+        Json::Num(n) => out.push((path.to_string(), Leaf::Num(*n))),
+        Json::Str(s) => out.push((path.to_string(), Leaf::Text(s.clone()))),
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(item, &format!("{path}[{i}]"), out);
+            }
+            // Lengths participate so a shorter array is a difference
+            // even when every shared index matches.
+            out.push((format!("{path}.len"), Leaf::Num(items.len() as f64)));
+        }
+        Json::Obj(pairs) => {
+            for (key, v) in pairs {
+                if SKIP_FIELDS.contains(&key.as_str()) {
+                    continue;
+                }
+                let sub = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                flatten(v, &sub, out);
+            }
+        }
+    }
+}
+
+/// Diffs two validated result documents.
+///
+/// # Errors
+///
+/// Returns a message when either document fails schema validation or
+/// the two documents are for different bench binaries.
+pub fn diff_documents(base: &Json, cand: &Json) -> Result<DocumentDiff, String> {
+    crate::results::validate_document(base).map_err(|e| format!("baseline: {e}"))?;
+    crate::results::validate_document(cand).map_err(|e| format!("candidate: {e}"))?;
+    let base_bench = base.get("bench").and_then(Json::as_str).unwrap_or("");
+    let cand_bench = cand.get("bench").and_then(Json::as_str).unwrap_or("");
+    if base_bench != cand_bench {
+        return Err(format!(
+            "bench mismatch: baseline is {base_bench:?} but candidate is {cand_bench:?}"
+        ));
+    }
+    let mut base_flat = Vec::new();
+    let mut cand_flat = Vec::new();
+    flatten(base, "", &mut base_flat);
+    flatten(cand, "", &mut cand_flat);
+    let base_map: std::collections::BTreeMap<String, Leaf> = base_flat.into_iter().collect();
+    let cand_map: std::collections::BTreeMap<String, Leaf> = cand_flat.into_iter().collect();
+
+    let mut diff = DocumentDiff::default();
+    for (path, b) in &base_map {
+        match cand_map.get(path) {
+            None => diff.deltas.push(MetricDelta {
+                path: path.clone(),
+                base: leaf_num(b),
+                cand: None,
+            }),
+            Some(c) => {
+                diff.compared += 1;
+                match (b, c) {
+                    (Leaf::Num(bn), Leaf::Num(cn)) => {
+                        if bn != cn {
+                            diff.deltas.push(MetricDelta {
+                                path: path.clone(),
+                                base: Some(*bn),
+                                cand: Some(*cn),
+                            });
+                        }
+                    }
+                    (Leaf::Text(bt), Leaf::Text(ct)) => {
+                        if bt != ct {
+                            diff.deltas.push(MetricDelta {
+                                path: path.clone(),
+                                base: None,
+                                cand: None,
+                            });
+                        }
+                    }
+                    _ => diff.deltas.push(MetricDelta {
+                        path: path.clone(),
+                        base: leaf_num(b),
+                        cand: leaf_num(c),
+                    }),
+                }
+            }
+        }
+    }
+    for (path, c) in &cand_map {
+        if !base_map.contains_key(path) {
+            diff.deltas.push(MetricDelta {
+                path: path.clone(),
+                base: None,
+                cand: leaf_num(c),
+            });
+        }
+    }
+    Ok(diff)
+}
+
+fn leaf_num(leaf: &Leaf) -> Option<f64> {
+    match leaf {
+        Leaf::Num(n) => Some(*n),
+        Leaf::Text(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn doc(cycles: u64, wall: f64) -> Json {
+        // A minimal valid envelope with one non-"run" record (only
+        // "run" records have the full stats schema enforced).
+        Json::obj(vec![
+            ("bench", Json::Str("unit".into())),
+            ("schema_version", Json::UInt(crate::results::SCHEMA_VERSION)),
+            ("git", Json::Str("deadbeef".into())),
+            ("jobs", Json::UInt(1)),
+            ("wall_ms", Json::Num(wall)),
+            (
+                "records",
+                Json::Arr(vec![Json::obj(vec![
+                    ("kind", Json::Str("unit_metric".into())),
+                    ("cycles", Json::UInt(cycles)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_documents_have_zero_deltas() {
+        let a = doc(100, 5.0);
+        let b = doc(100, 99.0); // wall_ms differs but is excluded
+        let d = diff_documents(&a, &b).unwrap();
+        assert!(d.deltas.is_empty(), "{:?}", d.deltas);
+        assert!(d.compared > 0);
+    }
+
+    #[test]
+    fn perturbed_document_trips_threshold() {
+        let a = doc(100, 5.0);
+        let b = doc(110, 5.0);
+        let d = diff_documents(&a, &b).unwrap();
+        assert_eq!(d.deltas.len(), 1);
+        assert!((d.deltas[0].delta_pct() - 10.0).abs() < 1e-9);
+        assert!(d.deltas[0].exceeds(2.0));
+        assert!(!d.deltas[0].exceeds(15.0));
+    }
+
+    #[test]
+    fn zero_baseline_is_infinite_delta() {
+        let a = doc(0, 5.0);
+        let b = doc(1, 5.0);
+        let d = diff_documents(&a, &b).unwrap();
+        assert_eq!(d.deltas.len(), 1);
+        assert!(d.deltas[0].delta_pct().is_infinite());
+        assert!(d.deltas[0].exceeds(1e12));
+    }
+
+    #[test]
+    fn bench_mismatch_is_an_error() {
+        let a = doc(1, 5.0);
+        let mut b = doc(1, 5.0);
+        if let Json::Obj(pairs) = &mut b {
+            pairs[0].1 = Json::Str("other".into());
+        }
+        assert!(diff_documents(&a, &b).is_err());
+    }
+
+    #[test]
+    fn record_count_mismatch_is_reported() {
+        let a = doc(1, 5.0);
+        let mut b = doc(1, 5.0);
+        if let Json::Obj(pairs) = &mut b {
+            let recs = pairs.iter_mut().find(|(k, _)| k == "records").unwrap();
+            if let Json::Arr(items) = &mut recs.1 {
+                let extra = items[0].clone();
+                items.push(extra);
+            }
+        }
+        let d = diff_documents(&a, &b).unwrap();
+        assert!(
+            d.deltas.iter().any(|x| x.path == "records.len"),
+            "{:?}",
+            d.deltas
+        );
+    }
+
+    #[test]
+    fn threshold_parser_is_strict() {
+        assert_eq!(parse_threshold("2.5"), Ok(2.5));
+        assert_eq!(parse_threshold(" 0 "), Ok(0.0));
+        assert!(parse_threshold("").is_err());
+        assert!(parse_threshold("-1").is_err());
+        assert!(parse_threshold("inf").is_err());
+        assert!(parse_threshold("2%").is_err());
+        assert!(parse_threshold("nan").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_text_stays_identical() {
+        let a = doc(12345, 1.0);
+        let text = a.to_json_pretty();
+        let b = json::parse(&text).unwrap();
+        let d = diff_documents(&a, &b).unwrap();
+        assert!(d.deltas.is_empty(), "{:?}", d.deltas);
+    }
+}

@@ -32,7 +32,9 @@ use morlog_sim_core::trace::Tracer;
 use morlog_sim_core::{DesignKind, SystemConfig};
 use morlog_workloads::{cached_generate, DatasetSize, WorkloadConfig, WorkloadKind};
 
+pub mod diff;
 pub mod json;
+pub mod perfetto;
 pub mod results;
 
 /// Parses a `MORLOG_TXS`-style transaction-count override.
@@ -251,6 +253,14 @@ pub fn run(spec: &RunSpec) -> RunReport {
     let trace = cached_generate(spec.kind, &wl);
     let mut sys = System::with_options(cfg.clone(), &trace, spec.expansion, spec.secure);
     let stats = sys.run();
+    let trace_dropped = sys.tracer().dropped();
+    if trace_dropped > 0 {
+        eprintln!(
+            "warning: {}: trace ring evicted {trace_dropped} events — the trace is \
+             truncated at the front; raise the MORLOG_TRACE capacity to keep it whole",
+            spec.label()
+        );
+    }
     maybe_dump_trace(spec, sys.tracer());
     RunReport {
         design: spec.design,
@@ -258,6 +268,7 @@ pub fn run(spec: &RunSpec) -> RunReport {
         threads,
         stats,
         frequency: cfg.cores.frequency,
+        trace_dropped,
     }
 }
 
@@ -435,6 +446,43 @@ pub fn print_stall_breakdown(reports: &[RunReport]) {
             }
         }
         println!();
+    }
+}
+
+/// Prints the per-design commit-latency table: p50/p99 of
+/// Begin→RecordPersisted (when the commit is durable in NVM) and of
+/// Begin→Complete (when the program observes the commit). For the sync
+/// protocols the two track each other; under delay-persistence the
+/// Complete column collapses to the commit request itself while the
+/// persist column keeps the drain time — that gap is the §III-C
+/// persistence lag, whose p99 is printed in the last column for DP
+/// designs (`-` elsewhere). Quantiles come from the deterministic
+/// log2-bucketed histograms, so the table is byte-identical across
+/// serial/parallel sweeps and with tracing on or off.
+pub fn print_commit_latency_table(reports: &[RunReport]) {
+    if reports.is_empty() {
+        return;
+    }
+    println!(
+        "{:<14} {:>14} {:>10} {:>14} {:>10} {:>12}",
+        "commit cycles", "persist p50", "p99", "complete p50", "p99", "dp lag p99"
+    );
+    for r in reports {
+        let c = &r.stats.metrics.commit;
+        let lag = if c.dp_persist_lag.is_empty() {
+            "-".to_string()
+        } else {
+            c.dp_persist_lag.p99().to_string()
+        };
+        println!(
+            "{:<14} {:>14} {:>10} {:>14} {:>10} {:>12}",
+            r.design.label(),
+            c.begin_to_persist.p50(),
+            c.begin_to_persist.p99(),
+            c.begin_to_complete.p50(),
+            c.begin_to_complete.p99(),
+            lag
+        );
     }
 }
 

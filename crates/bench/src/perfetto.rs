@@ -1,0 +1,290 @@
+//! Conversion of `MORLOG_TRACE_DIR` JSONL event traces into Chrome
+//! `trace_event` JSON, openable at <https://ui.perfetto.dev> — the
+//! engine behind the `trace2perfetto` binary.
+//!
+//! The mapping (one simulated cycle is rendered as one microsecond,
+//! since `trace_event` timestamps are µs):
+//!
+//! * `commit_phase` Begin→Complete pairs become `"X"` duration spans on
+//!   the committing thread's track, named by transaction id. The
+//!   Start→RecordPersisted window becomes a second span on a parallel
+//!   `persist` track per thread — under delay-persistence it extends
+//!   *past* the commit span, which makes the §III-C persistence lag
+//!   directly visible in the UI.
+//! * `wq_accept` events become one `"C"` counter track per memory
+//!   channel (queue occupancy at each accept).
+//! * `log_append` / `log_truncate` events become per-slice counter
+//!   tracks of the live tail/head offsets.
+//!
+//! Everything else (word transitions, cache writebacks, recovery steps)
+//! is ignored and counted, so the converter stays robust as new event
+//! kinds appear. Begin events evicted from the trace ring leave
+//! unmatched Complete events; those are skipped and counted too.
+
+use std::collections::HashMap;
+
+use crate::json::{self, Json};
+
+/// Offset separating per-thread `persist` tracks from the commit
+/// tracks in the synthetic thread-id space.
+const PERSIST_TID_BASE: u64 = 100;
+
+/// A conversion outcome: the Chrome `trace_event` document plus
+/// counters describing what was (not) converted.
+#[derive(Debug)]
+pub struct Converted {
+    /// The `{"traceEvents": [...]}` document.
+    pub trace: Json,
+    /// Commit duration spans emitted.
+    pub spans: usize,
+    /// Counter samples emitted.
+    pub counter_events: usize,
+    /// Events of kinds the converter does not map.
+    pub ignored: usize,
+    /// Commit-phase events whose opening phase was missing (ring
+    /// eviction truncated the trace).
+    pub unmatched: usize,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct TxPhases {
+    begin: Option<u64>,
+    start: Option<u64>,
+}
+
+/// Converts one JSONL trace dump into a Chrome `trace_event` document.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line; individually
+/// well-formed lines of unknown event kinds are counted, not errors.
+pub fn convert_jsonl(text: &str) -> Result<Converted, String> {
+    let mut events: Vec<Json> = Vec::new();
+    let mut spans = 0usize;
+    let mut counter_events = 0usize;
+    let mut ignored = 0usize;
+    let mut unmatched = 0usize;
+    // (thread, txid) -> open phase timestamps.
+    let mut open: HashMap<(u64, u64), TxPhases> = HashMap::new();
+    let mut threads_seen: Vec<u64> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let cycle = record
+            .get("cycle")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: missing integer \"cycle\"", lineno + 1))?;
+        let event = record
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing string \"event\"", lineno + 1))?;
+        match event {
+            "commit_phase" => {
+                let thread = field_u64(&record, "thread", lineno)?;
+                let txid = field_u64(&record, "txid", lineno)?;
+                let phase = record
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {}: missing string \"phase\"", lineno + 1))?
+                    .to_string();
+                if !threads_seen.contains(&thread) {
+                    threads_seen.push(thread);
+                }
+                let entry = open.entry((thread, txid)).or_default();
+                match phase.as_str() {
+                    "begin" => entry.begin = Some(cycle),
+                    "start" => entry.start = Some(cycle),
+                    "record_persisted" => match entry.start.take() {
+                        None => unmatched += 1,
+                        Some(start) => {
+                            events.push(span_event(
+                                format!("persist tx{txid}"),
+                                PERSIST_TID_BASE + thread,
+                                start,
+                                cycle,
+                            ));
+                            spans += 1;
+                        }
+                    },
+                    "complete" => match entry.begin.take() {
+                        None => unmatched += 1,
+                        Some(begin) => {
+                            events.push(span_event(format!("tx{txid}"), thread, begin, cycle));
+                            spans += 1;
+                        }
+                    },
+                    other => {
+                        return Err(format!(
+                            "line {}: unknown commit phase {other:?}",
+                            lineno + 1
+                        ))
+                    }
+                }
+            }
+            "wq_accept" => {
+                let channel = field_u64(&record, "channel", lineno)?;
+                let occupancy = field_u64(&record, "occupancy", lineno)?;
+                events.push(counter_event(
+                    format!("wq[ch{channel}]"),
+                    "occupancy",
+                    cycle,
+                    occupancy,
+                ));
+                counter_events += 1;
+            }
+            "log_append" => {
+                let slice = field_u64(&record, "slice", lineno)?;
+                let offset = field_u64(&record, "offset", lineno)?;
+                events.push(counter_event(
+                    format!("log_tail[slice{slice}]"),
+                    "offset",
+                    cycle,
+                    offset,
+                ));
+                counter_events += 1;
+            }
+            "log_truncate" => {
+                let slice = field_u64(&record, "slice", lineno)?;
+                let new_head = field_u64(&record, "new_head", lineno)?;
+                events.push(counter_event(
+                    format!("log_head[slice{slice}]"),
+                    "offset",
+                    cycle,
+                    new_head,
+                ));
+                counter_events += 1;
+            }
+            _ => ignored += 1,
+        }
+    }
+
+    // Name the synthetic threads so Perfetto shows "core N" / "persist
+    // N" instead of bare tids.
+    let mut meta = Vec::new();
+    for &t in &threads_seen {
+        meta.push(thread_name_event(t, format!("core {t}")));
+        meta.push(thread_name_event(
+            PERSIST_TID_BASE + t,
+            format!("persist {t}"),
+        ));
+    }
+    meta.extend(events);
+
+    Ok(Converted {
+        trace: Json::obj(vec![
+            ("traceEvents", Json::Arr(meta)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+        ]),
+        spans,
+        counter_events,
+        ignored,
+        unmatched,
+    })
+}
+
+fn field_u64(record: &Json, key: &str, lineno: usize) -> Result<u64, String> {
+    record
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {}: missing integer {key:?}", lineno + 1))
+}
+
+fn span_event(name: String, tid: u64, begin: u64, end: u64) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(name)),
+        ("cat", Json::Str("commit".into())),
+        ("ph", Json::Str("X".into())),
+        ("ts", Json::UInt(begin)),
+        ("dur", Json::UInt(end.saturating_sub(begin).max(1))),
+        ("pid", Json::UInt(0)),
+        ("tid", Json::UInt(tid)),
+    ])
+}
+
+fn counter_event(track: String, arg: &str, cycle: u64, value: u64) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(track)),
+        ("ph", Json::Str("C".into())),
+        ("ts", Json::UInt(cycle)),
+        ("pid", Json::UInt(0)),
+        ("args", Json::obj(vec![(arg, Json::UInt(value))])),
+    ])
+}
+
+fn thread_name_event(tid: u64, name: String) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str("thread_name".into())),
+        ("ph", Json::Str("M".into())),
+        ("pid", Json::UInt(0)),
+        ("tid", Json::UInt(tid)),
+        ("args", Json::obj(vec![("name", Json::Str(name))])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"cycle":10,"event":"commit_phase","thread":0,"txid":1,"phase":"begin"}
+{"cycle":20,"event":"commit_phase","thread":0,"txid":1,"phase":"start"}
+{"cycle":25,"event":"wq_accept","channel":2,"occupancy":7,"is_log":true}
+{"cycle":30,"event":"log_append","slice":0,"offset":192,"kind":"commit","thread":0,"txid":1}
+{"cycle":40,"event":"commit_phase","thread":0,"txid":1,"phase":"record_persisted"}
+{"cycle":41,"event":"commit_phase","thread":0,"txid":1,"phase":"complete"}
+{"cycle":45,"event":"word_transition","thread":0,"txid":1,"addr":64,"from":"dirty","to":"urlog"}
+"#;
+
+    #[test]
+    fn converts_spans_and_counters() {
+        let c = convert_jsonl(SAMPLE).unwrap();
+        assert_eq!(c.spans, 2, "commit span + persist span");
+        assert_eq!(c.counter_events, 2, "wq + log_tail");
+        assert_eq!(c.ignored, 1, "word_transition is not mapped");
+        assert_eq!(c.unmatched, 0);
+        let events = c.trace.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 2 thread_name metadata + 2 spans + 2 counters.
+        assert_eq!(events.len(), 6);
+        let text = c.trace.to_json();
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains("\"name\":\"tx1\""));
+        assert!(text.contains("\"name\":\"persist tx1\""));
+        assert!(text.contains("\"name\":\"wq[ch2]\""));
+    }
+
+    #[test]
+    fn dp_inverted_order_still_produces_both_spans() {
+        // Under delay-persistence Complete precedes RecordPersisted.
+        let dp = r#"{"cycle":10,"event":"commit_phase","thread":1,"txid":7,"phase":"begin"}
+{"cycle":12,"event":"commit_phase","thread":1,"txid":7,"phase":"start"}
+{"cycle":12,"event":"commit_phase","thread":1,"txid":7,"phase":"complete"}
+{"cycle":90,"event":"commit_phase","thread":1,"txid":7,"phase":"record_persisted"}
+"#;
+        let c = convert_jsonl(dp).unwrap();
+        assert_eq!(c.spans, 2);
+        assert_eq!(c.unmatched, 0);
+        let text = c.trace.to_json();
+        // The persist span covers cycles 12..90 — longer than commit.
+        assert!(text.contains("\"dur\":78"));
+    }
+
+    #[test]
+    fn truncated_trace_counts_unmatched() {
+        // A Complete whose Begin was evicted from the ring.
+        let truncated =
+            r#"{"cycle":41,"event":"commit_phase","thread":0,"txid":9,"phase":"complete"}"#;
+        let c = convert_jsonl(truncated).unwrap();
+        assert_eq!(c.spans, 0);
+        assert_eq!(c.unmatched, 1);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(convert_jsonl("{\"cycle\":1}").is_err());
+        assert!(convert_jsonl("not json").is_err());
+        assert!(convert_jsonl("").unwrap().spans == 0);
+    }
+}

@@ -6,7 +6,7 @@
 //! ```json
 //! {
 //!   "bench": "fig14_macro_throughput",
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "git": "65c28e8",
 //!   "jobs": 8,
 //!   "wall_ms": 1234.5,
@@ -23,20 +23,32 @@
 //!
 //! Schema history: version 2 added the `stats.attr` cycle-attribution
 //! object (one integer account per [`StallKind`] bucket; the accounts sum
-//! to `cycles * threads`).
+//! to `cycles * threads`). Version 3 added `trace_dropped` on `"run"`
+//! records plus the telemetry layer under `stats.hist.*` (commit-latency
+//! and log-entry-size histograms as `{count, sum, min, max, p50, p90,
+//! p99, buckets}` with sparse `[bucket, count]` pairs, and SLDE
+//! encoder-choice counts) and `stats.series.*` (cycle-sampled occupancy
+//! series as parallel `cycles`/`values` arrays plus the sample
+//! `period`). The validator checks that every histogram's bucket counts
+//! sum to its `count`, that quantiles are ordered `p50 <= p90 <= p99 <=
+//! max`, and that every per-run series is cycle-monotone with equal
+//! array lengths.
 //!
 //! [`StallKind`]: morlog_sim_core::stats::StallKind
 
 use std::sync::OnceLock;
 use std::time::Instant;
 
+use morlog_sim_core::metrics::{
+    Histogram, MetricsSet, SeriesSet, COMMIT_LATENCY_LABELS, ENCODER_CHOICE_LABELS, LOG_KIND_LABELS,
+};
 use morlog_sim_core::SimStats;
 
 use crate::json::Json;
 use crate::TimedRun;
 
 /// Version stamp of the `results/*.json` envelope and record layout.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Collects result records for one bench binary and writes
 /// `results/<bench>.json` on [`ResultSink::finish`].
@@ -131,8 +143,80 @@ pub fn run_record(run: &TimedRun) -> Json {
         ("tweaked", Json::Bool(spec.tweak.is_some())),
         ("throughput_tps", Json::Num(run.report.throughput())),
         ("wall_ms", Json::Num(run.wall.as_secs_f64() * 1e3)),
+        ("trace_dropped", Json::UInt(run.report.trace_dropped)),
         ("stats", stats_json(&run.report.stats)),
     ])
+}
+
+/// Serializes one histogram: summary fields plus the sparse non-empty
+/// buckets as `[bucket_index, count]` pairs. The exact 128-bit sum is
+/// clamped to `u64::MAX` on overflow (unreachable for cycle counts).
+pub fn hist_json(h: &Histogram) -> Json {
+    let buckets = h
+        .nonzero_buckets()
+        .map(|(i, c)| Json::Arr(vec![Json::UInt(i as u64), Json::UInt(c)]))
+        .collect();
+    Json::obj(vec![
+        ("count", Json::UInt(h.count())),
+        (
+            "sum",
+            Json::UInt(u64::try_from(h.sum()).unwrap_or(u64::MAX)),
+        ),
+        ("min", Json::UInt(h.min())),
+        ("max", Json::UInt(h.max())),
+        ("p50", Json::UInt(h.p50())),
+        ("p90", Json::UInt(h.p90())),
+        ("p99", Json::UInt(h.p99())),
+        ("buckets", Json::Arr(buckets)),
+    ])
+}
+
+/// Serializes the `stats.hist` object: commit-latency histograms, per
+/// log-record-kind entry-size histograms, and encoder-choice counts.
+pub fn metrics_hist_json(m: &MetricsSet) -> Json {
+    let commit = m
+        .commit
+        .named()
+        .into_iter()
+        .map(|(name, h)| (name, hist_json(h)))
+        .collect();
+    let entry_bits = LOG_KIND_LABELS
+        .iter()
+        .zip(m.log_writes.entry_bits.iter())
+        .map(|(&name, h)| (name, hist_json(h)))
+        .collect();
+    let choices = ENCODER_CHOICE_LABELS
+        .iter()
+        .zip(m.log_writes.encoder_choices.iter())
+        .map(|(&name, &n)| (name, Json::UInt(n)))
+        .collect();
+    Json::obj(vec![
+        ("commit", Json::obj(commit)),
+        ("log_entry_bits", Json::obj(entry_bits)),
+        ("encoder_choices", Json::obj(choices)),
+    ])
+}
+
+/// Serializes the `stats.series` object: the sample period plus one
+/// `{cycles, values}` pair of parallel arrays per sampled series.
+pub fn series_json(s: &SeriesSet) -> Json {
+    let mut fields = vec![("period", Json::UInt(s.period))];
+    for (name, series) in s.named() {
+        fields.push((
+            name,
+            Json::obj(vec![
+                (
+                    "cycles",
+                    Json::Arr(series.cycles.iter().map(|&c| Json::UInt(c)).collect()),
+                ),
+                (
+                    "values",
+                    Json::Arr(series.values.iter().map(|&v| Json::UInt(v)).collect()),
+                ),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 /// Flattens every [`SimStats`] counter into a JSON object.
@@ -218,6 +302,8 @@ pub fn stats_json(s: &SimStats) -> Json {
         ("mem", mem),
         ("log", log),
         ("attr", attr),
+        ("hist", metrics_hist_json(&s.metrics)),
+        ("series", series_json(&s.metrics.series)),
     ])
 }
 
@@ -337,6 +423,13 @@ pub fn validate_run_record(record: &Json) -> Result<(), String> {
     for key in ["throughput_tps", "wall_ms"] {
         require_kind(record, key, "run", |v| v.as_f64().is_some(), "a number")?;
     }
+    require_kind(
+        record,
+        "trace_dropped",
+        "run",
+        |v| v.as_u64().is_some(),
+        "an integer",
+    )?;
     let stats = require(record, "stats", "run")?;
     for key in ["cycles", "transactions_committed", "tx_stores", "tx_loads"] {
         require_kind(
@@ -390,6 +483,107 @@ pub fn validate_run_record(record: &Json) -> Result<(), String> {
     if sum != total {
         return Err(format!(
             "run.stats.attr: accounts sum to {sum} but total says {total}"
+        ));
+    }
+    let hist = require(stats, "hist", "run.stats")?;
+    let commit = require(hist, "commit", "run.stats.hist")?;
+    for name in COMMIT_LATENCY_LABELS {
+        let h = require(commit, name, "run.stats.hist.commit")?;
+        validate_hist(h, &format!("run.stats.hist.commit.{name}"))?;
+    }
+    let entry_bits = require(hist, "log_entry_bits", "run.stats.hist")?;
+    for name in LOG_KIND_LABELS {
+        let h = require(entry_bits, name, "run.stats.hist.log_entry_bits")?;
+        validate_hist(h, &format!("run.stats.hist.log_entry_bits.{name}"))?;
+    }
+    let choices = require(hist, "encoder_choices", "run.stats.hist")?;
+    for name in ENCODER_CHOICE_LABELS {
+        require_kind(
+            choices,
+            name,
+            "run.stats.hist.encoder_choices",
+            |v| v.as_u64().is_some(),
+            "an integer",
+        )?;
+    }
+    let series = require(stats, "series", "run.stats")?;
+    require_kind(
+        series,
+        "period",
+        "run.stats.series",
+        |v| v.as_u64().is_some(),
+        "an integer",
+    )?;
+    for name in morlog_sim_core::metrics::SERIES_LABELS {
+        let s = require(series, name, "run.stats.series")?;
+        let what = format!("run.stats.series.{name}");
+        let cycles = require(s, "cycles", &what)?
+            .as_arr()
+            .ok_or_else(|| format!("{what}: cycles is not an array"))?;
+        let values = require(s, "values", &what)?
+            .as_arr()
+            .ok_or_else(|| format!("{what}: values is not an array"))?;
+        if cycles.len() != values.len() {
+            return Err(format!(
+                "{what}: cycles has {} entries but values has {}",
+                cycles.len(),
+                values.len()
+            ));
+        }
+        let mut last: Option<u64> = None;
+        for (i, c) in cycles.iter().enumerate() {
+            let c = c
+                .as_u64()
+                .ok_or_else(|| format!("{what}: cycles[{i}] is not an integer"))?;
+            if let Some(prev) = last {
+                if c < prev {
+                    return Err(format!(
+                        "{what}: cycles[{i}] = {c} goes backwards from {prev}"
+                    ));
+                }
+            }
+            last = Some(c);
+        }
+    }
+    Ok(())
+}
+
+/// Validates one serialized histogram: required summary fields, bucket
+/// counts that sum to `count`, and quantile ordering
+/// `p50 <= p90 <= p99 <= max`.
+fn validate_hist(h: &Json, what: &str) -> Result<(), String> {
+    for key in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+        require_kind(h, key, what, |v| v.as_u64().is_some(), "an integer")?;
+    }
+    let count = h.get("count").and_then(Json::as_u64).unwrap_or(0);
+    let buckets = require(h, "buckets", what)?
+        .as_arr()
+        .ok_or_else(|| format!("{what}: buckets is not an array"))?;
+    let mut bucket_sum = 0u64;
+    for (i, pair) in buckets.iter().enumerate() {
+        let pair = pair
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("{what}: buckets[{i}] is not a [bucket, count] pair"))?;
+        let idx = pair[0]
+            .as_u64()
+            .ok_or_else(|| format!("{what}: buckets[{i}][0] is not an integer"))?;
+        if idx as usize >= morlog_sim_core::metrics::HIST_BUCKETS {
+            return Err(format!("{what}: buckets[{i}] index {idx} out of range"));
+        }
+        bucket_sum += pair[1]
+            .as_u64()
+            .ok_or_else(|| format!("{what}: buckets[{i}][1] is not an integer"))?;
+    }
+    if bucket_sum != count {
+        return Err(format!(
+            "{what}: bucket counts sum to {bucket_sum} but count says {count}"
+        ));
+    }
+    let q = |key: &str| h.get(key).and_then(Json::as_u64).unwrap_or(0);
+    if count > 0 && !(q("p50") <= q("p90") && q("p90") <= q("p99") && q("p99") <= q("max")) {
+        return Err(format!(
+            "{what}: quantiles must be ordered p50 <= p90 <= p99 <= max"
         ));
     }
     Ok(())

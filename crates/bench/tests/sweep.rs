@@ -128,6 +128,68 @@ fn malformed_env_overrides_are_rejected() {
     assert!(parse_jobs("many").is_err());
     assert!(parse_jobs("0").is_err());
     assert_eq!(parse_jobs("4"), Ok(4));
+
+    use morlog_sim_core::metrics::parse_sample_cycles;
+    assert_eq!(parse_sample_cycles("0"), Ok(0), "0 disables the sampler");
+    assert_eq!(parse_sample_cycles(" 4096 "), Ok(4096));
+    assert!(parse_sample_cycles("").is_err());
+    assert!(parse_sample_cycles("8k").is_err());
+    assert!(parse_sample_cycles("-1").is_err());
+
+    use morlog_sim_core::trace::parse_trace_env;
+    assert_eq!(parse_trace_env(""), Ok(None));
+    assert_eq!(parse_trace_env("0"), Ok(None));
+    assert_eq!(parse_trace_env("false"), Ok(None));
+    assert!(matches!(parse_trace_env("1"), Ok(Some(_))));
+    assert!(matches!(parse_trace_env("true"), Ok(Some(_))));
+    assert_eq!(parse_trace_env("4096"), Ok(Some(4096)));
+    assert!(parse_trace_env("yes").is_err());
+    assert!(parse_trace_env("64k").is_err());
+    assert!(parse_trace_env("-3").is_err());
+}
+
+/// Satellite gate for the telemetry layer: the merged (fold-reduced)
+/// histograms and series of a jobs=1 sweep are identical to a jobs=4
+/// sweep of the same specs — not just value-equal, but byte-identical
+/// once serialized through the schema-v3 `stats_json` encoder. This is
+/// the property that makes per-run histograms safe to aggregate across
+/// a parallel sweep.
+#[test]
+fn merged_metrics_identical_across_jobs() {
+    use morlog_bench::results::stats_json;
+    use morlog_sim_core::SimStats;
+
+    let specs: Vec<RunSpec> = DesignKind::ALL
+        .iter()
+        .flat_map(|&design| {
+            [WorkloadKind::Hash, WorkloadKind::Queue]
+                .into_iter()
+                .map(move |kind| quick_spec(design, kind, 90_009))
+        })
+        .collect();
+    let serial = SweepRunner::with_jobs(1).run_specs(&specs);
+    let parallel = SweepRunner::with_jobs(4).run_specs(&specs);
+
+    let fold = |runs: &[morlog_bench::TimedRun]| {
+        let mut merged = SimStats::default();
+        for r in runs {
+            merged.merge(&r.report.stats);
+        }
+        merged
+    };
+    let merged_serial = fold(&serial);
+    let merged_parallel = fold(&parallel);
+    assert_eq!(
+        merged_serial.metrics, merged_parallel.metrics,
+        "merged histograms/series must not depend on sweep parallelism"
+    );
+    assert_eq!(
+        stats_json(&merged_serial).to_json(),
+        stats_json(&merged_parallel).to_json(),
+        "serialized merged stats must be byte-identical across jobs"
+    );
+    // The merge actually carried latency data, not two empty sets.
+    assert!(merged_serial.metrics.commit.begin_to_complete.count() > 0);
 }
 
 #[test]

@@ -35,6 +35,7 @@ use morlog_encoding::secure::SecureMode;
 use morlog_nvm::controller::{LogAppendError, MemoryController};
 use morlog_nvm::log::{LogRecord, LogRecordKind};
 use morlog_sim_core::ids::TxKey;
+use morlog_sim_core::metrics::CommitLatency;
 use morlog_sim_core::stats::LogStats;
 use morlog_sim_core::trace::{CommitPhaseTag, TraceEvent, Tracer, WordStateTag};
 use morlog_sim_core::types::dirty_byte_mask;
@@ -87,6 +88,19 @@ struct PendingCommit {
     started: Cycle,
 }
 
+/// Phase timestamps of one in-flight transaction, resolved into the
+/// commit-latency histograms once both the commit record has persisted
+/// and the program has observed completion (the two arrive in either
+/// order: persist-then-complete for sync designs, complete-then-persist
+/// under delay-persistence).
+#[derive(Debug, Clone, Copy)]
+struct CommitTrack {
+    begin: Cycle,
+    start: Cycle,
+    persisted: Option<Cycle>,
+    complete: Option<Cycle>,
+}
+
 enum FlushOutcome {
     Written,
     Discarded,
@@ -104,7 +118,7 @@ enum FlushOutcome {
 /// use morlog_sim_core::{DesignKind, LogConfig, ThreadId};
 ///
 /// let mut lc = LogController::new(DesignKind::MorLogSlde, LogConfig::default());
-/// let key = lc.tx_begin(ThreadId::new(0));
+/// let key = lc.tx_begin(ThreadId::new(0), 0);
 /// assert_eq!(key.thread, ThreadId::new(0));
 /// ```
 #[derive(Debug)]
@@ -135,6 +149,10 @@ pub struct LogController {
     /// Global commit-order counter stamped into commit records (needed to
     /// order commits across distributed log slices, §III-F).
     next_commit_ts: u64,
+    /// Phase timestamps of transactions still resolving their commit.
+    commit_track: HashMap<TxKey, CommitTrack>,
+    /// Commit-latency distributions (always collected).
+    latency: CommitLatency,
     /// Observability sink (disabled by default; see [`set_tracer`]).
     ///
     /// [`set_tracer`]: LogController::set_tracer
@@ -157,6 +175,8 @@ impl LogController {
             redo_lazy_age: 4096,
             secure: SecureMode::None,
             next_commit_ts: 0,
+            commit_track: HashMap::new(),
+            latency: CommitLatency::default(),
             tracer: Tracer::disabled(),
             cfg,
         }
@@ -196,12 +216,54 @@ impl LogController {
         !self.design.uses_crade_only() && self.secure != SecureMode::Full
     }
 
-    /// Starts a transaction on `thread`, assigning the next 16-bit TxID.
-    pub fn tx_begin(&mut self, thread: ThreadId) -> TxKey {
+    /// Starts a transaction on `thread` at cycle `now`, assigning the
+    /// next 16-bit TxID. `now` seeds the commit-latency phase tracker.
+    pub fn tx_begin(&mut self, thread: ThreadId, now: Cycle) -> TxKey {
         let txid = self.next_txid.entry(thread).or_insert_with(|| TxId::new(0));
         let key = TxKey::new(thread, *txid);
         *txid = txid.next();
+        self.commit_track.insert(
+            key,
+            CommitTrack {
+                begin: now,
+                start: now,
+                persisted: None,
+                complete: None,
+            },
+        );
         key
+    }
+
+    /// Commit-latency distributions collected so far.
+    pub fn latency(&self) -> &CommitLatency {
+        &self.latency
+    }
+
+    /// Stamps one commit phase for `key`; once both RecordPersisted and
+    /// Complete have been observed, resolves the transaction into the
+    /// latency histograms. Completion and persistence arrive in either
+    /// order (§III-C inverts them), so resolution waits for both.
+    fn track_phase(&mut self, key: TxKey, phase: CommitPhaseTag, now: Cycle) {
+        let Some(track) = self.commit_track.get_mut(&key) else {
+            return;
+        };
+        match phase {
+            CommitPhaseTag::Begin => track.begin = now,
+            CommitPhaseTag::Start => track.start = now,
+            CommitPhaseTag::RecordPersisted => track.persisted = Some(now),
+            CommitPhaseTag::Complete => track.complete = Some(now),
+        }
+        if let (Some(persisted), Some(complete)) = (track.persisted, track.complete) {
+            let (begin, start) = (track.begin, track.start);
+            self.commit_track.remove(&key);
+            self.latency.record_commit(
+                begin,
+                start,
+                persisted,
+                complete,
+                self.design.delay_persistence(),
+            );
+        }
     }
 
     /// Handles one transactional store of `new` over `old` at `addr` (the
@@ -516,6 +578,7 @@ impl LogController {
             key,
             phase: CommitPhaseTag::Start,
         });
+        self.track_phase(key, CommitPhaseTag::Start, now);
         if self.design.delay_persistence() {
             // Instant commit: only the commit record (with the ulog counter)
             // is queued; it appends once the transaction's undo+redo entries
@@ -528,6 +591,7 @@ impl LogController {
                 key,
                 phase: CommitPhaseTag::Complete,
             });
+            self.track_phase(key, CommitPhaseTag::Complete, now);
             return;
         }
         for wordinfo in ulog_words {
@@ -665,6 +729,7 @@ impl LogController {
                         key: record.key,
                         phase: CommitPhaseTag::RecordPersisted,
                     });
+                    self.track_phase(record.key, CommitPhaseTag::RecordPersisted, now);
                 }
                 Err(LogAppendError::WqFull) => break,
                 Err(LogAppendError::RingFull(_)) => {
@@ -709,6 +774,7 @@ impl LogController {
                     key: p.key,
                     phase: CommitPhaseTag::Complete,
                 });
+                self.track_phase(p.key, CommitPhaseTag::Complete, now);
             }
         }
         persisted
@@ -879,12 +945,16 @@ impl LogController {
     }
 
     /// Crash injection: the buffers and registers are volatile SRAM.
+    /// In-flight commit-phase trackers die with them (their transactions
+    /// never resolve); already-recorded latency histograms survive as
+    /// host-side statistics.
     pub fn on_crash(&mut self) {
         self.ur_buf.clear();
         self.redo_buf.clear();
         self.overflow.clear();
         self.pending_commits.clear();
         self.pending_records.clear();
+        self.commit_track.clear();
     }
 
     /// Whether any log state is still in flight (used by the engine to
@@ -944,7 +1014,7 @@ mod tests {
         let mut lc = LogController::new(DesignKind::MorLogSlde, LogConfig::default());
         let mut m = mc();
         let mut line = data_line(&m);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         let addr = line.addr.word_addr(0);
         lc.on_store(key, addr, 0, 42, &mut line, 0, &mut m).unwrap();
         assert_eq!(lc.stats().undo_redo_created, 1);
@@ -959,7 +1029,7 @@ mod tests {
         let mut lc = LogController::new(DesignKind::MorLogSlde, LogConfig::default());
         let mut m = mc();
         let mut line = data_line(&m);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         let addr = line.addr.word_addr(0);
         lc.on_store(key, addr, 0, 42, &mut line, 0, &mut m).unwrap();
         line.data.set_word(0, 42);
@@ -977,7 +1047,7 @@ mod tests {
         let mut lc = LogController::new(DesignKind::MorLogSlde, LogConfig::default());
         let mut m = mc();
         let mut line = data_line(&m);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         let addr = line.addr.word_addr(2);
         // Fig. 11 Write C1: the value is unchanged.
         lc.on_store(key, addr, 0, 0, &mut line, 0, &mut m).unwrap();
@@ -990,7 +1060,7 @@ mod tests {
         let mut lc = LogController::new(DesignKind::FwbCrade, LogConfig::default());
         let mut m = mc();
         let mut line = data_line(&m);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         lc.on_store(key, line.addr.word_addr(0), 5, 5, &mut line, 0, &mut m)
             .unwrap();
         assert_eq!(
@@ -1007,7 +1077,7 @@ mod tests {
         let mut lc = LogController::new(DesignKind::MorLogSlde, cfg);
         let mut m = mc();
         let mut line = data_line(&m);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         lc.on_store(key, line.addr.word_addr(0), 0, 42, &mut line, 100, &mut m)
             .unwrap();
         assert!(lc.tick(100 + cfg.eager_evict_cycles - 1, &mut m).is_empty());
@@ -1024,7 +1094,7 @@ mod tests {
         let mut lc = LogController::new(DesignKind::MorLogSlde, cfg);
         let mut m = mc();
         let mut line = data_line(&m);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         let addr = line.addr.word_addr(0);
         lc.on_store(key, addr, 0, 42, &mut line, 0, &mut m).unwrap();
         line.data.set_word(0, 42);
@@ -1054,7 +1124,7 @@ mod tests {
         let mut lc = LogController::new(DesignKind::MorLogSlde, cfg);
         let mut m = mc();
         let mut line = data_line(&m);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         let addr = line.addr.word_addr(0);
         // Build a ULog word, evict it so a redo entry is buffered.
         lc.on_store(key, addr, 0, 42, &mut line, 0, &mut m).unwrap();
@@ -1090,7 +1160,7 @@ mod tests {
         let mut lc = LogController::new(DesignKind::MorLogSlde, cfg);
         let mut m = mc();
         let mut line = data_line(&m);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         lc.on_store(key, line.addr.word_addr(0), 0, 42, &mut line, 0, &mut m)
             .unwrap();
         line.data.set_word(0, 42);
@@ -1125,7 +1195,7 @@ mod tests {
         let mut lc = LogController::new(DesignKind::MorLogDp, cfg);
         let mut m = mc();
         let mut line = data_line(&m);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         lc.on_store(key, line.addr.word_addr(0), 0, 42, &mut line, 0, &mut m)
             .unwrap();
         lc.start_commit(key, Vec::new(), 3, 1);
@@ -1154,7 +1224,7 @@ mod tests {
             let mut lc = LogController::new(design, cfg);
             let mut m = mc();
             let mut line = data_line(&m);
-            let key = lc.tx_begin(ThreadId::new(0));
+            let key = lc.tx_begin(ThreadId::new(0), 0);
             let addr = line.addr.word_addr(0);
             // Write 42 then write 0 back: the coalesced entry is silent.
             lc.on_store(key, addr, 0, 42, &mut line, 0, &mut m).unwrap();
@@ -1174,7 +1244,7 @@ mod tests {
         let mut lc = LogController::new(DesignKind::MorLogSlde, cfg);
         let mut m = mc();
         let mut line = data_line(&m);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         let addr = line.addr.word_addr(0);
         lc.on_store(key, addr, 0, 42, &mut line, 0, &mut m).unwrap();
         line.data.set_word(0, 42);
@@ -1203,7 +1273,7 @@ mod tests {
         let mut m = mc();
         let mut line = data_line(&m);
         let t = ThreadId::new(0);
-        let key1 = lc.tx_begin(t);
+        let key1 = lc.tx_begin(t, 0);
         let addr = line.addr.word_addr(0);
         lc.on_store(key1, addr, 0, 42, &mut line, 0, &mut m)
             .unwrap();
@@ -1215,7 +1285,7 @@ mod tests {
         line.data.set_word(0, 99);
         lc.start_commit(key1, Vec::new(), 1, 41); // DP: word stays ULog
                                                   // New transaction writes another word of the same line.
-        let key2 = lc.tx_begin(t);
+        let key2 = lc.tx_begin(t, 0);
         lc.on_store(key2, line.addr.word_addr(1), 0, 5, &mut line, 50, &mut m)
             .unwrap();
         assert_eq!(
@@ -1246,7 +1316,7 @@ mod tests {
             ..Default::default()
         };
         let mut lc = LogController::new(DesignKind::MorLogSlde, cfg);
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         let base = m.map().data_base().line();
         // Each store to a new line; fill the buffer, then the WQ blocks.
         let mut stalled = false;
@@ -1275,7 +1345,7 @@ mod tests {
         let t = ThreadId::new(0);
         let mut line = data_line(&m);
         // tx1 commits at ~cycle 100.
-        let key1 = lc.tx_begin(t);
+        let key1 = lc.tx_begin(t, 0);
         lc.on_store(key1, line.addr.word_addr(0), 0, 1, &mut line, 0, &mut m)
             .unwrap();
         line.data.set_word(0, 1);
@@ -1287,7 +1357,7 @@ mod tests {
             now += 1;
         }
         // tx2 starts but does not commit.
-        let key2 = lc.tx_begin(t);
+        let key2 = lc.tx_begin(t, 0);
         let line2_addr = LineAddr::from_index(line.addr.index() + 1);
         let mut line2 = CacheLine::clean(line2_addr, LineData::zeroed());
         lc.on_store(key2, line2_addr.word_addr(0), 0, 2, &mut line2, now, &mut m)
@@ -1327,7 +1397,7 @@ mod silent_anchor_tests {
         );
         let line_addr = m.map().data_base().line();
         let mut line = CacheLine::clean(line_addr, LineData::zeroed());
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         let addr = line_addr.word_addr(0);
         // Write 42, then write 0 back: the entry becomes silent.
         lc.on_store(key, addr, 0, 42, &mut line, 0, &mut m).unwrap();
@@ -1365,7 +1435,7 @@ mod silent_anchor_tests {
         );
         let line_addr = m.map().data_base().line();
         let mut line = CacheLine::clean(line_addr, LineData::zeroed());
-        let key = lc.tx_begin(ThreadId::new(0));
+        let key = lc.tx_begin(ThreadId::new(0), 0);
         let addr = line_addr.word_addr(0);
         lc.on_store(key, addr, 0, 42, &mut line, 0, &mut m).unwrap();
         line.data.set_word(0, 42);

@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 use morlog_encoding::slde::{EncodingChoice, SldeCodec};
 use morlog_sim_core::fault::FaultPlan;
 use morlog_sim_core::ids::TxKey;
+use morlog_sim_core::metrics::LogWriteMetrics;
 use morlog_sim_core::stats::MemStats;
 use morlog_sim_core::trace::{LogKindTag, TraceEvent, Tracer};
 use morlog_sim_core::{Addr, Cycle, Frequency, LineAddr, LineData, MemConfig};
@@ -202,6 +203,9 @@ pub struct MemoryController {
     ///
     /// [`tick`]: MemoryController::tick
     last_tick: Cycle,
+    /// Per-kind log-entry size histograms and SLDE encoder-choice counts
+    /// (always collected; see [`morlog_sim_core::metrics`]).
+    log_metrics: LogWriteMetrics,
 }
 
 impl MemoryController {
@@ -236,6 +240,7 @@ impl MemoryController {
             torn_words: HashMap::new(),
             tracer: Tracer::disabled(),
             last_tick: 0,
+            log_metrics: LogWriteMetrics::default(),
             cfg,
             freq,
             map,
@@ -486,6 +491,12 @@ impl MemoryController {
         let slot_key = ((slice as u64) << 40) | physical;
         let serviced = self.module.write_log_record(&stored, slot_key);
         self.account_write(&serviced.cost, true, &serviced.choices);
+        let kind_idx = match stored.record.kind {
+            LogRecordKind::UndoRedo => 0,
+            LogRecordKind::Redo => 1,
+            LogRecordKind::Commit => 2,
+        };
+        self.log_metrics.entry_bits[kind_idx].record(serviced.cost.bits_programmed);
         let service_cycles = self.write_service_cycles(&serviced.cost);
         let payload = if self.fault_plan.is_active() {
             let pw = stored.record.payload_words();
@@ -694,6 +705,16 @@ impl MemoryController {
         self.channels.iter().map(|c| c.write_q.len()).sum()
     }
 
+    /// Per-kind log-entry size histograms and encoder-choice counts.
+    pub fn log_metrics(&self) -> &LogWriteMetrics {
+        &self.log_metrics
+    }
+
+    /// Bytes of live (un-truncated) log summed across all slices.
+    pub fn log_used_bytes(&self) -> u64 {
+        self.logs.iter().map(|l| l.tail() - l.head()).sum()
+    }
+
     /// Records one cycle of a core stalled on a full write queue.
     pub fn note_wq_stall(&mut self) {
         self.stats.wq_full_stall_cycles += 1;
@@ -858,8 +879,16 @@ impl MemoryController {
         &mut self,
         cost: &morlog_encoding::dcw::WriteCost,
         is_log: bool,
-        _choices: &[EncodingChoice],
+        choices: &[EncodingChoice],
     ) {
+        for choice in choices {
+            let idx = match choice {
+                EncodingChoice::Fpc => 0,
+                EncodingChoice::Dldc => 1,
+                EncodingChoice::DldcRaw => 2,
+            };
+            self.log_metrics.encoder_choices[idx] += 1;
+        }
         self.stats.nvmm_writes += 1;
         if is_log {
             self.stats.log_writes += 1;

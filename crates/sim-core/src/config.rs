@@ -5,7 +5,7 @@
 //! 4 channels × 1 rank × 8 banks behind an FRFCFS-WQF controller with a
 //! 64-entry write queue and an 80 % drain watermark.
 
-use crate::timing::Frequency;
+use crate::timing::{Cycle, Frequency};
 
 /// Which hardware logging design a simulated system runs.
 ///
@@ -329,6 +329,27 @@ impl Default for TraceConfig {
     }
 }
 
+/// Telemetry configuration (see [`crate::metrics`]).
+///
+/// Histograms (commit latency, log-entry sizes, encoder choices) are
+/// always collected — they are plain counters with negligible cost.
+/// This struct only controls the cycle-driven time-series sampler; the
+/// `MORLOG_SAMPLE_CYCLES` environment variable overrides
+/// `sample_cycles` for a run when set (0 disables sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Time-series sample period in cycles; 0 disables sampling.
+    pub sample_cycles: Cycle,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            sample_cycles: crate::metrics::DEFAULT_SAMPLE_CYCLES,
+        }
+    }
+}
+
 /// Complete configuration of one simulated system.
 ///
 /// # Example
@@ -353,6 +374,8 @@ pub struct SystemConfig {
     pub log: LogConfig,
     /// Event-tracing parameters (off by default; zero simulation impact).
     pub trace: TraceConfig,
+    /// Telemetry sampling parameters (histograms are always on).
+    pub metrics: MetricsConfig,
 }
 
 impl SystemConfig {
@@ -367,6 +390,7 @@ impl SystemConfig {
             mem: MemConfig::default(),
             log: LogConfig::default(),
             trace: TraceConfig::default(),
+            metrics: MetricsConfig::default(),
         };
         if design == DesignKind::FwbUnsafe {
             cfg.log.undo_redo_entries += cfg.log.redo_entries;

@@ -27,6 +27,7 @@
 pub mod config;
 pub mod fault;
 pub mod ids;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod timing;
@@ -34,11 +35,12 @@ pub mod trace;
 pub mod types;
 
 pub use config::{
-    CacheLevelConfig, CoreConfig, DesignKind, HierarchyConfig, LogConfig, MemConfig, SystemConfig,
-    TraceConfig,
+    CacheLevelConfig, CoreConfig, DesignKind, HierarchyConfig, LogConfig, MemConfig, MetricsConfig,
+    SystemConfig, TraceConfig,
 };
 pub use fault::FaultPlan;
 pub use ids::{ThreadId, TxId};
+pub use metrics::{CommitLatency, Histogram, LogWriteMetrics, MetricsSet, Series, SeriesSet};
 pub use rng::DetRng;
 pub use stats::SimStats;
 pub use timing::{Cycle, Frequency, NanoSeconds, PicoJoules};

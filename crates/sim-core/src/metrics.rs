@@ -1,0 +1,641 @@
+//! Deterministic, mergeable telemetry primitives: log2-bucketed
+//! histograms, cycle-driven time series, and the aggregate metric set
+//! attached to [`crate::SimStats`].
+//!
+//! Everything here is integer-exact and order-independent where the
+//! sweep engine needs it to be: [`Histogram::merge`] is associative and
+//! commutative (element-wise bucket addition plus min/max folds), so a
+//! parallel sweep that merges per-run metrics in any grouping produces
+//! byte-identical JSON to a serial sweep. Quantile extraction uses pure
+//! integer arithmetic (no floating point) for the same reason.
+//!
+//! Time-series sampling is driven by the engine clock at a configurable
+//! period (`MORLOG_SAMPLE_CYCLES`, default [`DEFAULT_SAMPLE_CYCLES`];
+//! `0` disables sampling). Series merge by concatenation, which keeps
+//! merge associative; per-run series are cycle-monotone and the results
+//! validator checks that invariant on every emitted record.
+
+use crate::timing::Cycle;
+use crate::trace::LogKindTag;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b - 1]`, and bucket 64 holds
+/// `[2^63, u64::MAX]`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Environment variable selecting the time-series sample period in
+/// cycles. `0` disables sampling; malformed values abort with exit
+/// code 2 (same convention as `MORLOG_TXS` / `MORLOG_JOBS`).
+pub const SAMPLE_ENV: &str = "MORLOG_SAMPLE_CYCLES";
+
+/// Default sample period when `MORLOG_SAMPLE_CYCLES` is unset: one
+/// sample every 8192 cycles keeps series small (a 2000-transaction
+/// `quick_check` run yields a few hundred points per design) while
+/// still resolving write-queue and log-occupancy trends.
+pub const DEFAULT_SAMPLE_CYCLES: Cycle = 8192;
+
+/// A deterministic log2-bucketed histogram over `u64` samples.
+///
+/// Records are O(1) (a `leading_zeros` and two adds); quantiles are
+/// extracted by walking the cumulative bucket counts and returning the
+/// bucket's upper bound clamped to the observed `[min, max]` range, so
+/// reported quantiles never exceed any actually-recorded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of a bucket.
+    pub fn bucket_upper(bucket: usize) -> u64 {
+        match bucket {
+            0 => 0,
+            64 => u64::MAX,
+            b => (1u64 << b) - 1,
+        }
+    }
+
+    /// Inclusive lower bound of a bucket.
+    pub fn bucket_lower(bucket: usize) -> u64 {
+        match bucket {
+            0 => 0,
+            b => 1u64 << (b - 1),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (exact; internally 128-bit).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs in index order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Quantile at `permille / 1000` using pure integer arithmetic:
+    /// the sample with rank `ceil(permille · count / 1000)` determines
+    /// the bucket, and the estimate is that bucket's upper bound
+    /// clamped to the observed `[min, max]` range. Returns 0 when
+    /// empty.
+    pub fn quantile_permille(&self, permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank_num = u128::from(permille) * u128::from(self.count);
+        let rank = rank_num.div_ceil(1000).max(1);
+        let mut cum: u128 = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += u128::from(c);
+            if cum >= rank {
+                return Self::bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::quantile_permille`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile_permille(500)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile_permille(900)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile_permille(990)
+    }
+
+    /// Fold another histogram into this one. Element-wise addition of
+    /// bucket counts plus min/max folds, so merge is associative and
+    /// commutative — parallel sweeps may merge in any grouping.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A cycle-stamped time series: two parallel vectors of sample cycles
+/// and sampled values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Series {
+    /// Cycle at which each sample was taken (monotone within one run).
+    pub cycles: Vec<Cycle>,
+    /// Sampled value at the corresponding cycle.
+    pub values: Vec<u64>,
+}
+
+impl Series {
+    /// Append one sample.
+    pub fn push(&mut self, cycle: Cycle, value: u64) {
+        self.cycles.push(cycle);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// True when the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Append `other`'s samples after this series' samples.
+    /// Concatenation keeps merge associative; cycle monotonicity is a
+    /// per-run property and is not preserved across merged runs.
+    pub fn merge(&mut self, other: &Series) {
+        self.cycles.extend_from_slice(&other.cycles);
+        self.values.extend_from_slice(&other.values);
+    }
+}
+
+/// The fixed set of engine-sampled time series plus the sample period
+/// that produced them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeriesSet {
+    /// Sample period in cycles; 0 means sampling was disabled.
+    pub period: Cycle,
+    /// NVM write-queue depth summed over channels.
+    pub wq_depth: Series,
+    /// Redo-buffer occupancy (lines) in the logging controller.
+    pub redo_buf: Series,
+    /// Undo+redo (CRADE) buffer occupancy in the logging controller.
+    pub ur_buf: Series,
+    /// Bytes of live log across all log slices (tail − head).
+    pub log_bytes: Series,
+    /// Delay-persistence transactions committed but not yet persisted.
+    pub dp_outstanding: Series,
+    /// Writebacks drained from the hierarchy but not yet issued to NVM.
+    pub pending_writebacks: Series,
+}
+
+/// Display labels for the series in [`SeriesSet`], in field order.
+pub const SERIES_LABELS: [&str; 6] = [
+    "wq_depth",
+    "redo_buf",
+    "ur_buf",
+    "log_bytes",
+    "dp_outstanding",
+    "pending_writebacks",
+];
+
+impl SeriesSet {
+    /// An empty set with the given sample period.
+    pub fn with_period(period: Cycle) -> Self {
+        SeriesSet {
+            period,
+            ..Self::default()
+        }
+    }
+
+    /// Label → series pairs in [`SERIES_LABELS`] order.
+    pub fn named(&self) -> [(&'static str, &Series); 6] {
+        [
+            (SERIES_LABELS[0], &self.wq_depth),
+            (SERIES_LABELS[1], &self.redo_buf),
+            (SERIES_LABELS[2], &self.ur_buf),
+            (SERIES_LABELS[3], &self.log_bytes),
+            (SERIES_LABELS[4], &self.dp_outstanding),
+            (SERIES_LABELS[5], &self.pending_writebacks),
+        ]
+    }
+
+    /// Record one sample across every series at the same cycle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_sample(
+        &mut self,
+        cycle: Cycle,
+        wq_depth: u64,
+        redo_buf: u64,
+        ur_buf: u64,
+        log_bytes: u64,
+        dp_outstanding: u64,
+        pending_writebacks: u64,
+    ) {
+        self.wq_depth.push(cycle, wq_depth);
+        self.redo_buf.push(cycle, redo_buf);
+        self.ur_buf.push(cycle, ur_buf);
+        self.log_bytes.push(cycle, log_bytes);
+        self.dp_outstanding.push(cycle, dp_outstanding);
+        self.pending_writebacks.push(cycle, pending_writebacks);
+    }
+
+    /// Concatenate `other`'s samples onto this set. The period is
+    /// taken from whichever side has a nonzero period first (self
+    /// wins), so merging a disabled-sampling run into an enabled one
+    /// keeps the enabled period.
+    pub fn merge(&mut self, other: &SeriesSet) {
+        if self.period == 0 {
+            self.period = other.period;
+        }
+        self.wq_depth.merge(&other.wq_depth);
+        self.redo_buf.merge(&other.redo_buf);
+        self.ur_buf.merge(&other.ur_buf);
+        self.log_bytes.merge(&other.log_bytes);
+        self.dp_outstanding.merge(&other.dp_outstanding);
+        self.pending_writebacks.merge(&other.pending_writebacks);
+    }
+}
+
+/// Per-transaction commit-latency distributions, split by commit
+/// phase. Phase timestamps come from the logging controller's commit
+/// pipeline (the same points the tracer tags as `CommitPhaseTag`).
+///
+/// Two headline numbers deliberately coexist: `begin_to_complete`
+/// measures when the *program* observes the commit (instant for
+/// delay-persistence designs), while `begin_to_persist` measures when
+/// the commit record is durable in NVM. For sync designs they track
+/// each other; for DP designs the gap is the persistence lag that
+/// §III-C trades for commit latency, reported in `dp_persist_lag`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommitLatency {
+    /// Begin → Start: transaction body execution until commit request.
+    pub begin_to_start: Histogram,
+    /// Start → RecordPersisted: commit-record drain to NVM.
+    pub start_to_persist: Histogram,
+    /// RecordPersisted → Complete: post-persist completion (0 for DP,
+    /// where Complete precedes RecordPersisted).
+    pub persist_to_complete: Histogram,
+    /// Begin → RecordPersisted: time until the commit is durable.
+    pub begin_to_persist: Histogram,
+    /// Begin → Complete: time until the program observes the commit.
+    pub begin_to_complete: Histogram,
+    /// Complete → RecordPersisted: DP persistence lag (recorded only
+    /// for delay-persistence designs).
+    pub dp_persist_lag: Histogram,
+}
+
+/// Display labels for the histograms in [`CommitLatency`], in field
+/// order.
+pub const COMMIT_LATENCY_LABELS: [&str; 6] = [
+    "begin_to_start",
+    "start_to_persist",
+    "persist_to_complete",
+    "begin_to_persist",
+    "begin_to_complete",
+    "dp_persist_lag",
+];
+
+impl CommitLatency {
+    /// Label → histogram pairs in [`COMMIT_LATENCY_LABELS`] order.
+    pub fn named(&self) -> [(&'static str, &Histogram); 6] {
+        [
+            (COMMIT_LATENCY_LABELS[0], &self.begin_to_start),
+            (COMMIT_LATENCY_LABELS[1], &self.start_to_persist),
+            (COMMIT_LATENCY_LABELS[2], &self.persist_to_complete),
+            (COMMIT_LATENCY_LABELS[3], &self.begin_to_persist),
+            (COMMIT_LATENCY_LABELS[4], &self.begin_to_complete),
+            (COMMIT_LATENCY_LABELS[5], &self.dp_persist_lag),
+        ]
+    }
+
+    /// Record one fully-resolved transaction from its four phase
+    /// timestamps. `delay_persistence` selects whether the lag
+    /// histogram applies (Complete precedes RecordPersisted under DP,
+    /// so all deltas saturate at zero rather than wrapping).
+    pub fn record_commit(
+        &mut self,
+        begin: Cycle,
+        start: Cycle,
+        persisted: Cycle,
+        complete: Cycle,
+        delay_persistence: bool,
+    ) {
+        self.begin_to_start.record(start.saturating_sub(begin));
+        self.start_to_persist
+            .record(persisted.saturating_sub(start));
+        self.persist_to_complete
+            .record(complete.saturating_sub(persisted));
+        self.begin_to_persist
+            .record(persisted.saturating_sub(begin));
+        self.begin_to_complete
+            .record(complete.saturating_sub(begin));
+        if delay_persistence {
+            self.dp_persist_lag
+                .record(persisted.saturating_sub(complete));
+        }
+    }
+
+    /// Merge another set of commit-latency distributions.
+    pub fn merge(&mut self, other: &CommitLatency) {
+        self.begin_to_start.merge(&other.begin_to_start);
+        self.start_to_persist.merge(&other.start_to_persist);
+        self.persist_to_complete.merge(&other.persist_to_complete);
+        self.begin_to_persist.merge(&other.begin_to_persist);
+        self.begin_to_complete.merge(&other.begin_to_complete);
+        self.dp_persist_lag.merge(&other.dp_persist_lag);
+    }
+}
+
+/// Display labels for the per-kind log-entry histograms, in
+/// `LogKindTag` order.
+pub const LOG_KIND_LABELS: [&str; 3] = ["undo_redo", "redo", "commit"];
+
+/// Display labels for the SLDE encoder-choice counters.
+pub const ENCODER_CHOICE_LABELS: [&str; 3] = ["fpc", "dldc", "dldc_raw"];
+
+/// Per-write log metrics collected at the NVM controller's log-append
+/// path: programmed-bit distributions split by record kind, and counts
+/// of which SLDE encoder each encoded log-data word chose.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogWriteMetrics {
+    /// Bits programmed per appended log entry, indexed by
+    /// [`LOG_KIND_LABELS`] (`LogKindTag` order).
+    pub entry_bits: [Histogram; 3],
+    /// SLDE encoder choices per encoded log-data word, indexed by
+    /// [`ENCODER_CHOICE_LABELS`].
+    pub encoder_choices: [u64; 3],
+}
+
+impl LogWriteMetrics {
+    /// Index into [`LogWriteMetrics::entry_bits`] for a record kind.
+    pub fn kind_index(kind: LogKindTag) -> usize {
+        match kind {
+            LogKindTag::UndoRedo => 0,
+            LogKindTag::Redo => 1,
+            LogKindTag::Commit => 2,
+        }
+    }
+
+    /// Merge another set of log-write metrics.
+    pub fn merge(&mut self, other: &LogWriteMetrics) {
+        for (a, b) in self.entry_bits.iter_mut().zip(other.entry_bits.iter()) {
+            a.merge(b);
+        }
+        for (a, b) in self
+            .encoder_choices
+            .iter_mut()
+            .zip(other.encoder_choices.iter())
+        {
+            *a += b;
+        }
+    }
+}
+
+/// The full telemetry set attached to [`crate::SimStats`]: commit
+/// latency histograms, log-write metrics, and sampled time series.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSet {
+    /// Per-transaction commit-latency distributions.
+    pub commit: CommitLatency,
+    /// Log-append size distributions and encoder-choice counts.
+    pub log_writes: LogWriteMetrics,
+    /// Cycle-sampled occupancy series.
+    pub series: SeriesSet,
+}
+
+impl MetricsSet {
+    /// Merge another metric set; associative and commutative on the
+    /// histogram side, concatenating on the series side.
+    pub fn merge(&mut self, other: &MetricsSet) {
+        self.commit.merge(&other.commit);
+        self.log_writes.merge(&other.log_writes);
+        self.series.merge(&other.series);
+    }
+}
+
+/// Parse a `MORLOG_SAMPLE_CYCLES` value: a non-negative integer number
+/// of cycles, where 0 disables sampling.
+pub fn parse_sample_cycles(raw: &str) -> Result<Cycle, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err(format!(
+            "{SAMPLE_ENV} must be a cycle count, got empty string"
+        ));
+    }
+    trimmed.parse::<Cycle>().map_err(|_| {
+        format!("{SAMPLE_ENV} must be a non-negative integer cycle count (0 disables sampling), got {raw:?}")
+    })
+}
+
+/// Read `MORLOG_SAMPLE_CYCLES` from the environment. Returns `None`
+/// when unset (caller falls back to its configured default); exits
+/// with code 2 on a malformed value, matching the `MORLOG_TXS` /
+/// `MORLOG_JOBS` convention.
+pub fn sample_cycles_from_env() -> Option<Cycle> {
+    let raw = std::env::var(SAMPLE_ENV).ok()?;
+    match parse_sample_cycles(&raw) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn bucket_boundaries_cover_u64_extremes() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of((1 << 20) - 1), 20);
+        assert_eq!(Histogram::bucket_of(1 << 20), 21);
+        assert_eq!(Histogram::bucket_of((1u64 << 63) - 1), 63);
+        assert_eq!(Histogram::bucket_of(1u64 << 63), 64);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for b in 0..HIST_BUCKETS {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_lower(b)), b);
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_upper(b)), b);
+        }
+    }
+
+    #[test]
+    fn extremes_do_not_overflow_and_quantiles_clamp() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 2 * u128::from(u64::MAX));
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.quantile_permille(1), 0);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_max() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Rank 50 lands in bucket 6 ([32, 63]); upper bound 63 is
+        // within the observed range so it is reported as-is.
+        assert_eq!(h.p50(), 63);
+        // Rank 99 lands in bucket 7 ([64, 127]); its upper bound 127
+        // exceeds the observed max 100 and is clamped.
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.quantile_permille(1000), 100);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        // Property-style over pseudo-random partitions: build three
+        // histograms from a deterministic stream, then check the merge
+        // laws hold exactly (full struct equality, not just summaries).
+        let mut rng = DetRng::new(0xC0FFEE);
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for i in 0..3000 {
+            let raw = rng.next_u64();
+            // Mix magnitudes: shift by a pseudo-random amount so all
+            // buckets (including 0 and 64) are exercised.
+            let v = raw >> (raw % 65).min(63);
+            parts[i % 3].record(if i % 97 == 0 { 0 } else { v });
+        }
+        let [a, b, c] = parts;
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must be associative");
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+
+        let mut with_empty = a.clone();
+        with_empty.merge(&Histogram::new());
+        assert_eq!(with_empty, a, "empty histogram must be the identity");
+    }
+
+    #[test]
+    fn series_merge_concatenates() {
+        let mut a = SeriesSet::with_period(64);
+        a.push_sample(0, 1, 2, 3, 4, 5, 6);
+        let mut b = SeriesSet::with_period(64);
+        b.push_sample(64, 7, 8, 9, 10, 11, 12);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.wq_depth.cycles, vec![0, 64]);
+        assert_eq!(merged.wq_depth.values, vec![1, 7]);
+        assert_eq!(merged.pending_writebacks.values, vec![6, 12]);
+        for (name, s) in merged.named() {
+            assert_eq!(s.len(), 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn commit_latency_saturates_for_dp_inversion() {
+        let mut c = CommitLatency::default();
+        // DP: Complete (cycle 12) precedes RecordPersisted (cycle 40).
+        c.record_commit(10, 11, 40, 12, true);
+        assert_eq!(c.persist_to_complete.max(), 0);
+        assert_eq!(c.begin_to_complete.max(), 2);
+        assert_eq!(c.begin_to_persist.max(), 30);
+        assert_eq!(c.dp_persist_lag.max(), 28);
+        // Sync: no lag sample is recorded.
+        c.record_commit(0, 5, 20, 21, false);
+        assert_eq!(c.dp_persist_lag.count(), 1);
+        assert_eq!(c.persist_to_complete.max(), 1);
+    }
+
+    #[test]
+    fn sample_cycles_parser_is_strict() {
+        assert_eq!(parse_sample_cycles("0"), Ok(0));
+        assert_eq!(parse_sample_cycles(" 8192 "), Ok(8192));
+        assert!(parse_sample_cycles("").is_err());
+        assert!(parse_sample_cycles("-1").is_err());
+        assert!(parse_sample_cycles("8k").is_err());
+        assert!(parse_sample_cycles("1.5").is_err());
+    }
+}

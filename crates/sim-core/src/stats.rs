@@ -304,6 +304,9 @@ pub struct SimStats {
     /// Cycle-attribution accounts (core-cycles per stall class; sum is
     /// exactly `cycles × cores` for a completed run).
     pub attr: CycleAttribution,
+    /// Telemetry: commit-latency histograms, log-write distributions
+    /// and cycle-sampled occupancy series (see [`crate::metrics`]).
+    pub metrics: crate::metrics::MetricsSet,
 }
 
 impl SimStats {
@@ -331,6 +334,7 @@ impl SimStats {
         self.mem.merge(&other.mem);
         self.log.merge(&other.log);
         self.attr.merge(&other.attr);
+        self.metrics.merge(&other.metrics);
     }
 }
 

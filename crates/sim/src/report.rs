@@ -16,6 +16,11 @@ pub struct RunReport {
     pub stats: SimStats,
     /// Core frequency (for throughput).
     pub frequency: Frequency,
+    /// Trace-ring evictions during the run (0 when tracing is off or
+    /// the ring never filled). Non-zero means a dumped JSONL trace is
+    /// truncated at the front — `trace2perfetto` spans may be missing
+    /// their begin events.
+    pub trace_dropped: u64,
 }
 
 impl RunReport {
@@ -84,6 +89,7 @@ mod tests {
             threads: 4,
             stats,
             frequency: Frequency::ghz(3.0),
+            trace_dropped: 0,
         }
     }
 

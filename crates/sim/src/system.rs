@@ -15,6 +15,7 @@ use morlog_nvm::controller::{MemoryController, ReadTicket};
 use morlog_nvm::layout::MemoryMap;
 use morlog_sim_core::fault::FaultPlan;
 use morlog_sim_core::ids::TxKey;
+use morlog_sim_core::metrics::{MetricsSet, SeriesSet};
 use morlog_sim_core::stats::{CycleAttribution, StallKind};
 use morlog_sim_core::trace::{CommitPhaseTag, TraceEvent, Tracer, WordStateTag};
 use morlog_sim_core::{Addr, Cycle, LineAddr, LineData, SimStats, SystemConfig, ThreadId};
@@ -99,6 +100,12 @@ pub struct System {
     /// `finish_cycle`, each core contributes exactly one unit to exactly
     /// one account, so `attr.total() == cycles * cores`.
     attr: CycleAttribution,
+    /// Time-series sample period in cycles (0 disables sampling);
+    /// `MORLOG_SAMPLE_CYCLES` overrides the configured value.
+    sample_period: Cycle,
+    /// Cycle-sampled occupancy series (write queue, log buffers, live
+    /// log bytes, outstanding DP commits, pending writebacks).
+    series: SeriesSet,
 }
 
 impl System {
@@ -163,6 +170,8 @@ impl System {
         } else {
             Tracer::from_env()
         };
+        let sample_period =
+            morlog_sim_core::metrics::sample_cycles_from_env().unwrap_or(cfg.metrics.sample_cycles);
         let mut mc = MemoryController::new(cfg.mem, cfg.cores.frequency, map, codec);
         mc.set_secure_mode(secure);
         mc.set_tracer(tracer.clone());
@@ -210,6 +219,8 @@ impl System {
             oracle,
             tracer,
             attr: CycleAttribution::default(),
+            sample_period,
+            series: SeriesSet::with_period(sample_period),
             mc,
             cfg,
         }
@@ -324,10 +335,32 @@ impl System {
                 l
             },
             attr: self.attr,
+            metrics: MetricsSet {
+                commit: self.lc.latency().clone(),
+                log_writes: self.mc.log_metrics().clone(),
+                series: self.series.clone(),
+            },
         }
     }
 
     fn step_cycle(&mut self) {
+        // Occupancy sampling runs on the execution clock only — the
+        // quiesce tail after the last commit is excluded, like `attr`.
+        if self.sample_period != 0
+            && self.finish_cycle.is_none()
+            && self.now.is_multiple_of(self.sample_period)
+        {
+            let (ur, redo, _) = self.lc.occupancy();
+            self.series.push_sample(
+                self.now,
+                self.mc.write_queue_occupancy() as u64,
+                redo as u64,
+                ur as u64,
+                self.mc.log_used_bytes(),
+                self.lc.commit_backlog() as u64,
+                self.pending_writebacks.len() as u64,
+            );
+        }
         self.hierarchy.set_now(self.now);
         self.mc.tick(self.now);
         let persisted = self.lc.tick(self.now, &mut self.mc);
@@ -483,7 +516,7 @@ impl System {
                 self.cores[i].phase = Phase::BusyUntil(self.now + 16);
                 return StallKind::CommitWait;
             }
-            let key = self.lc.tx_begin(thread);
+            let key = self.lc.tx_begin(thread, self.now);
             self.oracle.begin(key);
             self.tracer.emit(self.now, || TraceEvent::CommitPhase {
                 key,

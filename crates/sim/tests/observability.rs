@@ -90,6 +90,145 @@ fn traced_run_captures_events() {
     }
 }
 
+/// Every design's commit-latency histograms account for exactly the
+/// committed transactions: the Begin→Complete histogram has one sample
+/// per commit, and no phase histogram invents extra samples.
+#[test]
+fn commit_latency_counts_match_committed_transactions() {
+    for design in DesignKind::ALL {
+        let cfg = SystemConfig::for_design(design);
+        let stats = run_with(cfg, WorkloadKind::Hash, 60, 2);
+        let c = &stats.metrics.commit;
+        assert_eq!(
+            c.begin_to_complete.count(),
+            stats.transactions_committed,
+            "{design}: one Begin→Complete sample per committed transaction"
+        );
+        assert_eq!(c.begin_to_start.count(), stats.transactions_committed);
+        assert_eq!(c.begin_to_persist.count(), stats.transactions_committed);
+        if design.delay_persistence() {
+            assert_eq!(
+                c.dp_persist_lag.count(),
+                stats.transactions_committed,
+                "{design}: every DP commit carries a persistence-lag sample"
+            );
+        } else {
+            assert!(
+                c.dp_persist_lag.is_empty(),
+                "{design}: sync designs have no persistence lag"
+            );
+        }
+    }
+}
+
+/// The §III-C story as two numbers: under delay-persistence the commit
+/// completes (atomicity point) before the commit record persists, so
+/// Begin→Complete sits at or below Begin→RecordPersisted and the lag
+/// histogram is strictly positive in aggregate. Sync designs order the
+/// phases the other way around.
+#[test]
+fn delay_persistence_decouples_complete_from_persist() {
+    let dp = run_with(
+        SystemConfig::for_design(DesignKind::MorLogDp),
+        WorkloadKind::Hash,
+        60,
+        2,
+    );
+    let c = &dp.metrics.commit;
+    assert!(c.begin_to_complete.sum() <= c.begin_to_persist.sum());
+    assert!(
+        c.dp_persist_lag.sum() > 0,
+        "DP must show a nonzero aggregate persistence lag"
+    );
+    assert!(c.begin_to_complete.p50() <= c.begin_to_persist.p50());
+
+    let sync = run_with(
+        SystemConfig::for_design(DesignKind::MorLogSlde),
+        WorkloadKind::Hash,
+        60,
+        2,
+    );
+    let s = &sync.metrics.commit;
+    assert!(
+        s.begin_to_persist.sum() <= s.begin_to_complete.sum(),
+        "sync commit completes only after the record persists"
+    );
+}
+
+/// The cycle-driven sampler produces aligned, monotone series at the
+/// configured period, and disabling it (period 0) produces none.
+#[test]
+fn sampler_emits_aligned_monotone_series() {
+    let mut cfg = SystemConfig::for_design(DesignKind::MorLogSlde);
+    cfg.metrics.sample_cycles = 64;
+    let stats = run_with(cfg, WorkloadKind::Hash, 60, 2);
+    let series = &stats.metrics.series;
+    assert_eq!(series.period, 64);
+    let named = series.named();
+    let len = named[0].1.len();
+    assert!(len > 1, "a multi-thousand-cycle run must sample repeatedly");
+    for (name, s) in named {
+        assert_eq!(s.len(), len, "series {name} must align with the others");
+        assert_eq!(s.cycles.len(), s.values.len(), "{name}");
+        for pair in s.cycles.windows(2) {
+            assert!(pair[0] < pair[1], "{name}: cycles must increase");
+        }
+        for &cycle in &s.cycles {
+            assert_eq!(cycle % 64, 0, "{name}: samples land on period marks");
+        }
+    }
+
+    let mut off = SystemConfig::for_design(DesignKind::MorLogSlde);
+    off.metrics.sample_cycles = 0;
+    let stats = run_with(off, WorkloadKind::Hash, 60, 2);
+    assert!(
+        stats
+            .metrics
+            .series
+            .named()
+            .iter()
+            .all(|(_, s)| s.is_empty()),
+        "period 0 disables the sampler"
+    );
+}
+
+/// Per-kind log-entry-size histograms tie out exactly against the log
+/// counters: commit-record samples equal `commit_records`, and
+/// undo-redo + redo samples equal `entries_written`. SLDE designs also
+/// report which encoder won each log write.
+#[test]
+fn log_write_metrics_tie_out_against_log_counters() {
+    for design in [DesignKind::MorLogCrade, DesignKind::MorLogSlde] {
+        let cfg = SystemConfig::for_design(design);
+        let stats = run_with(cfg, WorkloadKind::Hash, 60, 2);
+        let lw = &stats.metrics.log_writes;
+        assert_eq!(
+            lw.entry_bits[2].count(),
+            stats.log.commit_records,
+            "{design}: one size sample per commit record"
+        );
+        assert_eq!(
+            lw.entry_bits[0].count() + lw.entry_bits[1].count(),
+            stats.log.entries_written,
+            "{design}: one size sample per data log entry"
+        );
+        assert!(
+            lw.entry_bits[2].max() > 0,
+            "{design}: commit records program a nonzero number of bits"
+        );
+    }
+    let slde = run_with(
+        SystemConfig::for_design(DesignKind::MorLogSlde),
+        WorkloadKind::Hash,
+        60,
+        2,
+    );
+    assert!(
+        slde.metrics.log_writes.encoder_choices.iter().sum::<u64>() > 0,
+        "SLDE runs must record encoder choices"
+    );
+}
+
 /// Fig. 16 regression: 16 threads over 4 log slices (the
 /// `thread.index() % slices` mapping shares each slice between 4
 /// threads). Interleaved appends are safe because the single simulated
