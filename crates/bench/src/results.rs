@@ -32,7 +32,14 @@
 //! `period`). The validator checks that every histogram's bucket counts
 //! sum to its `count`, that quantiles are ordered `p50 <= p90 <= p99 <=
 //! max`, and that every per-run series is cycle-monotone with equal
-//! array lengths.
+//! array lengths. Version 4 added the `"crash_check"` record kind
+//! emitted by `crash_explore`: one record per checked design/mutation
+//! pair carrying the crash-point model checker's counters (`events`,
+//! `points_total`, `pruned`, `capped`, `explored`, `verified`,
+//! `failures`) and the gate verdict (`passed`). The validator checks
+//! the counter arithmetic: `points_total = events + 1`,
+//! `explored + pruned + capped >= points_total` (the torn-drain variant
+//! can explore each point twice), and `verified + failures = explored`.
 //!
 //! [`StallKind`]: morlog_sim_core::stats::StallKind
 
@@ -48,7 +55,7 @@ use crate::json::Json;
 use crate::TimedRun;
 
 /// Version stamp of the `results/*.json` envelope and record layout.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Collects result records for one bench binary and writes
 /// `results/<bench>.json` on [`ResultSink::finish`].
@@ -401,6 +408,64 @@ pub fn validate_document(doc: &Json) -> Result<(), String> {
         if kind == "run" {
             validate_run_record(record).map_err(|e| format!("record {i}: {e}"))?;
         }
+        if kind == "crash_check" {
+            validate_crash_check_record(record).map_err(|e| format!("record {i}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates one `"crash_check"` record (schema v4): the crash-point
+/// model checker's per-design counters must be present and arithmetically
+/// consistent.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending field.
+pub fn validate_crash_check_record(record: &Json) -> Result<(), String> {
+    for key in ["design", "workload", "mutation"] {
+        require_kind(
+            record,
+            key,
+            "crash_check",
+            |v| v.as_str().is_some(),
+            "a string",
+        )?;
+    }
+    require_kind(
+        record,
+        "passed",
+        "crash_check",
+        |v| matches!(v, Json::Bool(_)),
+        "a bool",
+    )?;
+    let counter = |key: &str| -> Result<u64, String> {
+        require(record, key, "crash_check")?
+            .as_u64()
+            .ok_or_else(|| format!("crash_check: field {key:?} is not an integer"))
+    };
+    let events = counter("events")?;
+    let points_total = counter("points_total")?;
+    let pruned = counter("pruned")?;
+    let capped = counter("capped")?;
+    let explored = counter("explored")?;
+    let verified = counter("verified")?;
+    let failures = counter("failures")?;
+    if points_total != events + 1 {
+        return Err(format!(
+            "crash_check: points_total {points_total} != events {events} + 1"
+        ));
+    }
+    if explored + pruned + capped < points_total {
+        return Err(format!(
+            "crash_check: explored {explored} + pruned {pruned} + capped {capped} \
+             does not cover points_total {points_total}"
+        ));
+    }
+    if verified + failures != explored {
+        return Err(format!(
+            "crash_check: verified {verified} + failures {failures} != explored {explored}"
+        ));
     }
     Ok(())
 }

@@ -28,7 +28,7 @@
 //! [`on_llc_writeback`]: LogController::on_llc_writeback
 //! [`tick`]: LogController::tick
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use morlog_cache::line::{CacheLine, L1Ext, WordLogState};
 use morlog_encoding::secure::SecureMode;
@@ -39,7 +39,7 @@ use morlog_sim_core::metrics::CommitLatency;
 use morlog_sim_core::stats::LogStats;
 use morlog_sim_core::trace::{CommitPhaseTag, TraceEvent, Tracer, WordStateTag};
 use morlog_sim_core::types::dirty_byte_mask;
-use morlog_sim_core::{Addr, Cycle, DesignKind, LogConfig, ThreadId, TxId};
+use morlog_sim_core::{Addr, CheckMutation, Cycle, DesignKind, LogConfig, ThreadId, TxId};
 
 use crate::buffer::LogBuffer;
 
@@ -157,6 +157,9 @@ pub struct LogController {
     ///
     /// [`set_tracer`]: LogController::set_tracer
     tracer: Tracer,
+    /// Deliberate sabotage selector for the checker's mutation self-test
+    /// (see [`CheckMutation`]); `None` in every real configuration.
+    mutation: CheckMutation,
 }
 
 impl LogController {
@@ -178,8 +181,15 @@ impl LogController {
             commit_track: HashMap::new(),
             latency: CommitLatency::default(),
             tracer: Tracer::disabled(),
+            mutation: CheckMutation::None,
             cfg,
         }
+    }
+
+    /// Installs the sabotage selector for the checker's mutation
+    /// self-test. Real designs always run with [`CheckMutation::None`].
+    pub fn set_mutation(&mut self, mutation: CheckMutation) {
+        self.mutation = mutation;
     }
 
     /// Installs the shared trace handle (see [`morlog_sim_core::trace`]).
@@ -538,6 +548,13 @@ impl LogController {
                 .retain(|r| r.kind != LogRecordKind::Redo || r.addr.line().index() != line_index);
             self.stats.redo_discarded += (before - self.overflow.len()) as u64;
         }
+        // Sabotage for the mutation self-test: let the data line go durable
+        // without first persisting its buffered undo entries. A crash in
+        // the window between this write-back and the entries' eventual
+        // eager eviction leaves in-place data with no undo to roll back.
+        if self.mutation == CheckMutation::DropUndoFence {
+            return true;
+        }
         // Write-ahead: undo entries for this line must persist before it.
         while let Some(p) = self.ur_buf.find_line_front(line_index) {
             match self.flush_to_ring(p.record, now, mc) {
@@ -839,8 +856,9 @@ impl LogController {
     /// safe commit horizon — their updated data have survived two scans).
     pub fn truncate(&mut self, horizon: Cycle, mc: &mut MemoryController) {
         let commit_cycle = &self.commit_cycle;
+        let held = self.held_completions();
         Self::truncate_by(commit_cycle, mc, |key, cc| {
-            cc.get(key).map(|&c| c <= horizon).unwrap_or(false)
+            !held.contains(key) && cc.get(key).map(|&c| c <= horizon).unwrap_or(false)
         });
     }
 
@@ -854,9 +872,22 @@ impl LogController {
         mc: &mut MemoryController,
     ) {
         let commit_cycle = &self.commit_cycle;
+        let held = self.held_completions();
         Self::truncate_by(commit_cycle, mc, |key, cc| {
-            cc.contains_key(key) && table.is_deletable(*key)
+            !held.contains(key) && cc.contains_key(key) && table.is_deletable(*key)
         });
+    }
+
+    /// Transactions whose commit record persisted but whose program-visible
+    /// completion is still pending (the fault-plan drain gate holds it).
+    /// Their log entries must survive truncation: a crash inside the hold
+    /// window would otherwise find a transaction the program never saw
+    /// commit fully durable with no log evidence left for recovery to
+    /// classify it — an unrecoverable, checker-visible state. (Without an
+    /// active fault plan, completion lands the same tick the record
+    /// persists, before any truncation pass, so this set is empty.)
+    fn held_completions(&self) -> HashSet<TxKey> {
+        self.pending_commits.values().map(|p| p.key).collect()
     }
 
     /// Shared truncation walk: deletes the ring prefix of records whose

@@ -484,6 +484,76 @@ mod tests {
         assert_eq!(word_at(&m, a2), 0, "tx3 rolled back despite being complete");
     }
 
+    /// Boundary: the transaction's log state persisted up to and including
+    /// the commit record's acceptance, but the record itself is damaged —
+    /// the `ulog` counter it carries is unreadable. Recovery must not
+    /// guess: the commit is unusable, the transaction rolls back via its
+    /// undo anchor, and the DP cutoff drops every later commit of the
+    /// thread even if complete.
+    #[test]
+    fn dp_ulog_persisted_but_commit_torn_rolls_back() {
+        let mut m = mc();
+        let a0 = m.map().data_base();
+        let a1 = Addr::new(a0.as_u64() + 8);
+        let (k1, k2) = (key(0, 0), key(0, 1));
+        m.try_append_log(LogRecord::undo_redo(k1, a0, 5, 50, 0xFF), 0)
+            .unwrap();
+        let commit = m.try_append_log(LogRecord::commit(k1, Some(1)), 0).unwrap();
+        m.try_append_log(LogRecord::redo_only(k1, a0, 51, 0xFF), 0)
+            .unwrap();
+        // tx2: complete with ulog 0, committing after the damaged record.
+        m.try_append_log(LogRecord::undo_redo(k2, a1, 6, 60, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(k2, Some(0)), 0).unwrap();
+        // In-place data already carries tx1's update (DP wrote it back).
+        let mut line = m.read_line(a0.line());
+        line.set_word(a0.word_index(), 51);
+        m.write_line_functional(a0.line(), line);
+        // Tear the commit record: the stored ulog field no longer matches
+        // the sealed CRC, so the scan classifies the record as corrupt.
+        assert!(m.corrupt_log_record(0, commit.offset, |r| {
+            r.ulog_count = Some(2);
+        }));
+        let report = recover(&mut m, true);
+        assert_eq!(report.corrupt_records, 1);
+        assert!(report.redone.is_empty());
+        assert_eq!(report.undone, vec![k1, k2]);
+        assert_eq!(word_at(&m, a0), 5, "tx1 rolled back via its undo anchor");
+        assert_eq!(word_at(&m, a1), 6, "tx2 dropped behind the damage");
+    }
+
+    /// Boundary: the crash lands exactly after the commit record persists,
+    /// with zero log writes following it. With `ulog = 0` that is the
+    /// complete protocol state — the transaction wins. With `ulog > 0` the
+    /// same crash point means the promised post-commit redo entries are
+    /// missing, and the transaction must lose.
+    #[test]
+    fn dp_commit_persisted_with_zero_subsequent_writes() {
+        // ulog = 0: nothing was promised after the commit; roll forward.
+        let mut m = mc();
+        let a = m.map().data_base();
+        let k = key(0, 0);
+        m.try_append_log(LogRecord::undo_redo(k, a, 0, 1, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(k, Some(0)), 0).unwrap();
+        let report = recover(&mut m, true);
+        assert_eq!(report.redone, vec![k]);
+        assert!(report.undone.is_empty());
+        assert_eq!(word_at(&m, a), 1);
+
+        // ulog = 1 at the same crash point: the counter says one more redo
+        // entry should follow, none did — the commit is not persisted.
+        let mut m = mc();
+        let k = key(0, 0);
+        m.try_append_log(LogRecord::undo_redo(k, a, 7, 8, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(k, Some(1)), 0).unwrap();
+        let report = recover(&mut m, true);
+        assert!(report.redone.is_empty());
+        assert_eq!(report.undone, vec![k]);
+        assert_eq!(word_at(&m, a), 7, "rolled back to the undo value");
+    }
+
     #[test]
     fn non_dp_ignores_ulog_counters() {
         let mut m = mc();

@@ -90,6 +90,52 @@ enum WritePayload {
     },
 }
 
+/// Incremental persist-domain state hash, maintained only while the
+/// crash-point model checker's reference run records its schedule.
+///
+/// `state` is an XOR-fold over persist-domain locations (data lines and
+/// live log slots): a functional mutation updates it in O(1) by XORing
+/// out the location's old hash and XORing in the new one. Because XOR
+/// deltas commute, the fold is exact relative to its enable-time baseline
+/// — two samples are equal iff nothing in the persist domain changed
+/// between them (modulo 64-bit collisions). Log truncation between
+/// persist events XORs the deleted slots out, so a crash point after a
+/// truncation is never pruned as equivalent to one before it.
+#[derive(Debug, Clone, Default)]
+struct HashTrace {
+    /// Current XOR-fold of the persist domain.
+    state: u64,
+    /// `samples[i]` = `state` immediately after persist event `i + 1`.
+    samples: Vec<u64>,
+}
+
+/// SplitMix64 finalizer: the bijective mixer used to hash persist-domain
+/// locations (independent of the fault plan's site rolls).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Location hash of one data line's contents.
+fn hash_line(line: LineAddr, data: &LineData) -> u64 {
+    let mut h = mix64(line.index() ^ 0xD1B5_4A32_D192_ED03);
+    for i in 0..morlog_sim_core::WORDS_PER_LINE {
+        h = mix64(h ^ data.word(i).wrapping_add(i as u64));
+    }
+    h
+}
+
+/// Location hash of one live log slot.
+fn hash_record(slice: usize, stored: &StoredRecord) -> u64 {
+    let mut h = mix64((slice as u64) << 48 ^ stored.offset ^ 0x2545_F491_4F6C_DD1D);
+    for w in stored.record.payload_words() {
+        h = mix64(h ^ w);
+    }
+    h
+}
+
 /// One live log slot as seen by the recovery scan: its stored form plus how
 /// many of its data words actually persisted (fewer than
 /// `record.kind.data_words()` when a crash tore the slot's drain).
@@ -206,6 +252,14 @@ pub struct MemoryController {
     /// Per-kind log-entry size histograms and SLDE encoder-choice counts
     /// (always collected; see [`morlog_sim_core::metrics`]).
     log_metrics: LogWriteMetrics,
+    /// Armed crash point: once `accept_seq` reaches this persist-event
+    /// count the controller freezes — further accepts are refused through
+    /// the ordinary backpressure paths (`false` / `WqFull`), pinning the
+    /// persist domain to exactly the first `n` events. See
+    /// [`arm_crash_at`](MemoryController::arm_crash_at).
+    crash_at: Option<u64>,
+    /// Persist-domain hash sampling (checker reference runs only).
+    hash_trace: Option<HashTrace>,
 }
 
 impl MemoryController {
@@ -241,6 +295,8 @@ impl MemoryController {
             tracer: Tracer::disabled(),
             last_tick: 0,
             log_metrics: LogWriteMetrics::default(),
+            crash_at: None,
+            hash_trace: None,
             cfg,
             freq,
             map,
@@ -403,6 +459,12 @@ impl MemoryController {
                 true
             }
             Region::NvmmLog | Region::NvmmData => {
+                if self.crash_point_reached() {
+                    // Armed crash point hit: the persist domain is frozen.
+                    // Refuse through the ordinary backpressure path so the
+                    // caller stalls exactly as on a full queue.
+                    return false;
+                }
                 let (ch, bank) = self.place(line);
                 if self.channels[ch].write_q.len() >= self.cfg.write_queue_entries {
                     return false;
@@ -414,6 +476,10 @@ impl MemoryController {
                 // retries, exactly as for a full queue.
                 if self.fault_plan.is_active() && self.line_has_undrained_undo(line) {
                     return false;
+                }
+                if let Some(ht) = &mut self.hash_trace {
+                    let old = self.module.read_data_line(line);
+                    ht.state ^= hash_line(line, &old) ^ hash_line(line, &data);
                 }
                 let serviced = self.module.write_data_line(line, data);
                 self.account_write(&serviced.cost, false, &serviced.choices);
@@ -453,6 +519,11 @@ impl MemoryController {
         record: LogRecord,
         now: Cycle,
     ) -> Result<StoredRecord, LogAppendError> {
+        if self.crash_point_reached() {
+            // Armed crash point hit: freeze before any side effect (even
+            // the overflow pre-grow), surfacing ordinary backpressure.
+            return Err(LogAppendError::WqFull);
+        }
         let slice = self.log_slice_of(record.key.thread);
         let log = &self.logs[slice];
         if record.kind != crate::log::LogRecordKind::Commit
@@ -486,6 +557,9 @@ impl MemoryController {
                     .map_err(LogAppendError::RingFull)?
             }
         };
+        if let Some(ht) = &mut self.hash_trace {
+            ht.state ^= hash_record(slice, &stored);
+        }
         let physical = stored.offset % self.logs[slice].capacity();
         // Slot-state keys are unique across slices.
         let slot_key = ((slice as u64) << 40) | physical;
@@ -545,7 +619,55 @@ impl MemoryController {
     fn bump_accept_seq(&mut self) -> u64 {
         let seq = self.accept_seq;
         self.accept_seq += 1;
+        if let Some(ht) = &mut self.hash_trace {
+            ht.samples.push(ht.state);
+        }
         seq
+    }
+
+    /// Monotone count of persist events: NVMM program acceptances (data
+    /// lines and log slots; DRAM writes are volatile and excluded). This
+    /// is the event axis of the crash-point model checker.
+    pub fn persist_events(&self) -> u64 {
+        self.accept_seq
+    }
+
+    /// Arms a crash point: once [`persist_events`] reaches `n` the
+    /// controller freezes — [`try_write_data`] returns `false` and
+    /// [`try_append_log`] returns [`LogAppendError::WqFull`] *before* any
+    /// functional apply, so the persist domain holds exactly the first
+    /// `n` events. Poll [`crash_point_reached`], then call
+    /// [`crash_persist`] to take the crash.
+    ///
+    /// [`persist_events`]: MemoryController::persist_events
+    /// [`try_write_data`]: MemoryController::try_write_data
+    /// [`try_append_log`]: MemoryController::try_append_log
+    /// [`crash_point_reached`]: MemoryController::crash_point_reached
+    /// [`crash_persist`]: MemoryController::crash_persist
+    pub fn arm_crash_at(&mut self, n: u64) {
+        self.crash_at = Some(n);
+    }
+
+    /// Whether an armed crash point has been reached (the controller is
+    /// frozen; see [`arm_crash_at`](MemoryController::arm_crash_at)).
+    pub fn crash_point_reached(&self) -> bool {
+        self.crash_at.is_some_and(|n| self.accept_seq >= n)
+    }
+
+    /// Starts persist-domain hash sampling (checker reference runs). The
+    /// fold baseline is the enable-time state; deltas keep sample
+    /// *equality* exact regardless of the baseline, which is all the
+    /// equivalence pruning compares.
+    pub fn enable_persist_hash(&mut self) {
+        self.hash_trace = Some(HashTrace::default());
+    }
+
+    /// Persist-domain hash samples: entry `i` is the state hash right
+    /// after persist event `i + 1`. Empty unless
+    /// [`enable_persist_hash`](MemoryController::enable_persist_hash)
+    /// was called.
+    pub fn persist_hash_samples(&self) -> &[u64] {
+        self.hash_trace.as_ref().map_or(&[], |ht| &ht.samples)
     }
 
     /// Whether any accepted-but-undrained undo-carrying log write covers
@@ -673,6 +795,16 @@ impl MemoryController {
 
     /// Truncates one log slice up to `offset` (exclusive).
     pub fn truncate_log_slice(&mut self, slice: usize, offset: u64) {
+        if let Some(ht) = &mut self.hash_trace {
+            // XOR the deleted slots out of the fold so a crash point after
+            // the truncation is not pruned as equivalent to one before it.
+            for stored in self.logs[slice].records() {
+                if stored.offset >= offset {
+                    break;
+                }
+                ht.state ^= hash_record(slice, stored);
+            }
+        }
         let old_head = self.logs[slice].head();
         self.logs[slice].truncate_to(offset);
         let new_head = self.logs[slice].head();
@@ -689,6 +821,13 @@ impl MemoryController {
     /// Empties every log slice (end of recovery: all entries deleted by
     /// advancing the head pointers to the tails).
     pub fn clear_log(&mut self) {
+        if let Some(ht) = &mut self.hash_trace {
+            for (slice, log) in self.logs.iter().enumerate() {
+                for stored in log.records() {
+                    ht.state ^= hash_record(slice, stored);
+                }
+            }
+        }
         for log in &mut self.logs {
             log.clear();
         }
@@ -1206,5 +1345,73 @@ mod tests {
             MemConfig::default().write_retry_budget as u64
         );
         assert_eq!(m.stats().stuck_slots_remapped, 1);
+    }
+
+    #[test]
+    fn crash_point_freezes_persist_domain() {
+        let mut m = mc();
+        let base = m.map().data_base().line().index();
+        let mut d = LineData::zeroed();
+        d.set_word(0, 7);
+        m.arm_crash_at(2);
+        assert!(!m.crash_point_reached());
+        assert!(m.try_write_data(LineAddr::from_index(base), d, 0));
+        let rec = LogRecord::undo_redo(key(), Addr::new(0x40), 1, 2, 0xFF);
+        m.try_append_log(rec, 0).unwrap();
+        assert_eq!(m.persist_events(), 2);
+        assert!(m.crash_point_reached());
+        // Frozen: both accept paths refuse via ordinary backpressure, and
+        // neither the array nor the log changes functionally.
+        d.set_word(0, 99);
+        assert!(!m.try_write_data(LineAddr::from_index(base), d, 1));
+        assert!(matches!(
+            m.try_append_log(rec, 1),
+            Err(LogAppendError::WqFull)
+        ));
+        assert_eq!(m.persist_events(), 2);
+        assert_eq!(m.read_line(LineAddr::from_index(base)).word(0), 7);
+        assert_eq!(m.log_region().records().count(), 1);
+        // DRAM (volatile) writes stay unaffected and count no events.
+        assert!(m.try_write_data(LineAddr::from_index(1), d, 1));
+        assert_eq!(m.persist_events(), 2);
+    }
+
+    #[test]
+    fn persist_hash_detects_real_changes_only() {
+        let mut m = mc();
+        m.enable_persist_hash();
+        let base = m.map().data_base().line().index();
+        let mut d = LineData::zeroed();
+        d.set_word(0, 7);
+        assert!(m.try_write_data(LineAddr::from_index(base), d, 0));
+        // Rewriting identical data is a persist event with no state change:
+        // the fold must repeat, flagging the point as prunable.
+        assert!(m.try_write_data(LineAddr::from_index(base), d, 0));
+        d.set_word(1, 8);
+        assert!(m.try_write_data(LineAddr::from_index(base), d, 0));
+        let s = m.persist_hash_samples().to_vec();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], s[1], "identical rewrite leaves hash unchanged");
+        assert_ne!(s[1], s[2], "real change moves the hash");
+    }
+
+    #[test]
+    fn persist_hash_sees_log_truncation() {
+        let mut m = mc();
+        m.enable_persist_hash();
+        let rec = LogRecord::undo_redo(key(), Addr::new(0x40), 1, 2, 0xFF);
+        m.try_append_log(rec, 0).unwrap();
+        let after_append = *m.persist_hash_samples().last().unwrap();
+        let cut = m.log_region().tail();
+        m.truncate_log(cut);
+        // Append an identical-content record at a new offset: distinct slot,
+        // so the fold must differ from the pre-truncation state even though
+        // the record payload repeats.
+        m.try_append_log(rec, 0).unwrap();
+        let after_requeue = *m.persist_hash_samples().last().unwrap();
+        assert_ne!(after_append, after_requeue);
+        // Clearing the log after the crash XORs everything back out.
+        m.clear_log();
+        assert_eq!(m.log_region().records().count(), 0);
     }
 }

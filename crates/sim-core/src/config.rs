@@ -90,6 +90,38 @@ impl std::fmt::Display for DesignKind {
     }
 }
 
+/// A deliberately broken design variant for the crash-point model
+/// checker's mutation self-test (`crates/checker`).
+///
+/// The checker proves it has teeth by enabling one of these sabotages and
+/// demanding a counterexample; every real design runs with
+/// [`CheckMutation::None`], where the simulated hardware is untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CheckMutation {
+    /// The correct hardware (the only variant benchmarks ever run).
+    #[default]
+    None,
+    /// Drops the undo→data ordering fence: updated data may enter the
+    /// persist domain while the undo+redo entry covering them is still
+    /// buffered on chip (violates the §II-B write-ahead invariant).
+    DropUndoFence,
+    /// Skips the delay-persistence `ulog` counter bump at commit
+    /// (§III-C): the commit record under-reports how many post-commit
+    /// redo entries the transaction still owes the log.
+    SkipUlogBump,
+}
+
+impl CheckMutation {
+    /// Short label for tables and results records.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckMutation::None => "none",
+            CheckMutation::DropUndoFence => "drop-undo-fence",
+            CheckMutation::SkipUlogBump => "skip-ulog-bump",
+        }
+    }
+}
+
 /// Core pipeline parameters (Table III: 8 in-order cores at 3 GHz).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreConfig {
@@ -376,6 +408,9 @@ pub struct SystemConfig {
     pub trace: TraceConfig,
     /// Telemetry sampling parameters (histograms are always on).
     pub metrics: MetricsConfig,
+    /// Model-checker sabotage switch ([`CheckMutation::None`] outside the
+    /// checker's mutation self-test).
+    pub mutation: CheckMutation,
 }
 
 impl SystemConfig {
@@ -391,6 +426,7 @@ impl SystemConfig {
             log: LogConfig::default(),
             trace: TraceConfig::default(),
             metrics: MetricsConfig::default(),
+            mutation: CheckMutation::None,
         };
         if design == DesignKind::FwbUnsafe {
             cfg.log.undo_redo_entries += cfg.log.redo_entries;

@@ -35,13 +35,13 @@ pub mod trace;
 pub mod types;
 
 pub use config::{
-    CacheLevelConfig, CoreConfig, DesignKind, HierarchyConfig, LogConfig, MemConfig, MetricsConfig,
-    SystemConfig, TraceConfig,
+    CacheLevelConfig, CheckMutation, CoreConfig, DesignKind, HierarchyConfig, LogConfig, MemConfig,
+    MetricsConfig, SystemConfig, TraceConfig,
 };
 pub use fault::FaultPlan;
 pub use ids::{ThreadId, TxId};
 pub use metrics::{CommitLatency, Histogram, LogWriteMetrics, MetricsSet, Series, SeriesSet};
 pub use rng::DetRng;
-pub use stats::SimStats;
+pub use stats::{CheckStats, SimStats};
 pub use timing::{Cycle, Frequency, NanoSeconds, PicoJoules};
 pub use types::{Addr, LineAddr, LineData, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};

@@ -338,6 +338,43 @@ impl SimStats {
     }
 }
 
+/// Coverage counters of one crash-point model-checking sweep
+/// (`crates/checker`): how many persist-point crash states the reference
+/// schedule contained, how many were pruned as equivalent, and how many
+/// replay-crash-recover-verify runs actually executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Persist events in the reference schedule (crash points `0..=events`).
+    pub events: u64,
+    /// Candidate crash points (reference events plus the initial state).
+    pub points_total: u64,
+    /// Points skipped because the persist-domain state hash did not change
+    /// from the previous event (equivalence pruning).
+    pub pruned: u64,
+    /// Points dropped by an explicit `MORLOG_CHECK_MAX_POINTS` cap.
+    pub capped: u64,
+    /// Points actually replayed, crashed and recovered.
+    pub explored: u64,
+    /// Replay runs whose recovery the oracle verified (two per explored
+    /// point when the torn-drain fault variant is enabled).
+    pub verified: u64,
+    /// Verification failures (counterexamples found).
+    pub failures: u64,
+}
+
+impl CheckStats {
+    /// Adds another sweep's counters into this one.
+    pub fn merge(&mut self, other: &CheckStats) {
+        self.events += other.events;
+        self.points_total += other.points_total;
+        self.pruned += other.pruned;
+        self.capped += other.capped;
+        self.explored += other.explored;
+        self.verified += other.verified;
+        self.failures += other.failures;
+    }
+}
+
 /// Geometric mean of a series of ratios (the paper reports Gmean bars).
 ///
 /// Returns `None` for an empty series or if any value is non-positive.

@@ -178,6 +178,7 @@ impl System {
         let mut lc = LogController::new(cfg.design, cfg.log);
         lc.set_secure_mode(secure);
         lc.set_tracer(tracer.clone());
+        lc.set_mutation(cfg.mutation);
         let mut oracle = Oracle::new();
         for thread in &trace.threads {
             oracle.record_initial(&thread.initial);
@@ -645,7 +646,12 @@ impl System {
                             if dp {
                                 // §III-C: redo data stay in the L1 line; the
                                 // ulog counter goes into the commit record.
-                                ulog_count += 1;
+                                // (SkipUlogBump sabotages exactly this bump
+                                // for the checker's mutation self-test.)
+                                if self.cfg.mutation != morlog_sim_core::CheckMutation::SkipUlogBump
+                                {
+                                    ulog_count += 1;
+                                }
                             } else {
                                 ulog_words.push(UlogWord {
                                     addr: addr.word_addr(w),
@@ -740,6 +746,74 @@ impl System {
     /// in-flight write payloads from the first write on.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.mc.set_fault_plan(plan);
+    }
+
+    /// Monotone persist-event count: NVMM program acceptances so far (see
+    /// [`MemoryController::persist_events`]).
+    ///
+    /// [`MemoryController::persist_events`]: morlog_nvm::controller::MemoryController::persist_events
+    pub fn persist_events(&self) -> u64 {
+        self.mc.persist_events()
+    }
+
+    /// Starts persist-domain hash sampling (the checker's reference run).
+    /// Call before [`run`](System::run).
+    pub fn enable_persist_hash(&mut self) {
+        self.mc.enable_persist_hash();
+    }
+
+    /// Persist-domain hash samples: entry `i` is the fold right after
+    /// persist event `i + 1` (empty unless sampling was enabled).
+    pub fn persist_hash_samples(&self) -> &[u64] {
+        self.mc.persist_hash_samples()
+    }
+
+    /// Arms a persist-event crash point (see
+    /// [`MemoryController::arm_crash_at`]); drive the run with
+    /// [`run_until_crash_point`](System::run_until_crash_point).
+    ///
+    /// [`MemoryController::arm_crash_at`]: morlog_nvm::controller::MemoryController::arm_crash_at
+    pub fn arm_crash_at(&mut self, n: u64) {
+        self.mc.arm_crash_at(n);
+    }
+
+    /// Advances the system until an armed crash point freezes the
+    /// controller, returning `true` — or until the workload finishes and
+    /// quiesces without ever reaching it, returning `false` (the crash
+    /// point lies beyond the run's total persist events).
+    ///
+    /// [`run`](System::run) cannot be used here: its progress watchdog
+    /// would (correctly) trip on the deliberate stall a frozen controller
+    /// induces. The post-completion drain is stepped too, because the
+    /// reference schedule includes quiesce-time persist events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system stops making progress with the crash point
+    /// still unreached (an engine bug, surfaced loudly).
+    pub fn run_until_crash_point(&mut self) -> bool {
+        let deadline = self.now + 200_000_000;
+        while !self.finished() {
+            if self.mc.crash_point_reached() {
+                return true;
+            }
+            self.step_cycle();
+            assert!(
+                self.now < deadline,
+                "crash-point replay stalled without reaching its target"
+            );
+        }
+        while !(self.lc.is_quiescent() && self.pending_writebacks.is_empty()) {
+            if self.mc.crash_point_reached() {
+                return true;
+            }
+            self.step_cycle();
+            assert!(
+                self.now < deadline,
+                "crash-point replay failed to quiesce past the last event"
+            );
+        }
+        self.mc.crash_point_reached()
     }
 
     /// Crash injection: volatile state (caches, log buffers, in-flight
