@@ -13,20 +13,25 @@
 //!
 //! The two sabotaged variants (drop the undo→data write-ahead fence; skip
 //! the DP `ulog` winner bump) must each produce a minimized counterexample
-//! whose JSONL trace is written under `MORLOG_CX_DIR` (default
-//! `counterexamples/`) for `trace_lint` / `trace2perfetto`. Exits
-//! non-zero if a real design fails any crash point or a mutant survives.
+//! whose JSONL trace lands in the shared counterexample sink
+//! (`MORLOG_CX_DIR`, default `counterexamples/`; deduplicated by
+//! persist-domain signature and capped by `MORLOG_CX_MAX`) for
+//! `trace_lint` / `trace2perfetto`. A *real* design failing any crash
+//! point also writes its counterexample — and, like a surviving mutant,
+//! makes the gate exit non-zero.
 //!
 //! Env knobs: `MORLOG_CHECK_MAX_POINTS` caps exploration (a capped run is
 //! reported but is no longer an exhaustiveness proof), `MORLOG_CHECK_SHARDS`
-//! sets the fan-out; both exit 2 on malformed values.
+//! sets the fan-out; both exit 2 on malformed values, as does a malformed
+//! `MORLOG_CX_MAX`.
 
+use morlog_bench::cx::{persist_signature, CxSink};
 use morlog_bench::json::Json;
 use morlog_bench::results::ResultSink;
 use morlog_bench::SweepRunner;
 use morlog_checker::{
     assemble, check_max_points_from_env, check_shards_from_env, double_store_trace, plan,
-    run_point, torn_plan_for, CheckOptions, CheckReport,
+    run_point, torn_plan_for, CheckOptions, CheckPlan, CheckReport,
 };
 use morlog_sim::System;
 use morlog_sim_core::{CheckMutation, DesignKind, SystemConfig};
@@ -60,7 +65,7 @@ fn explore(
     trace: &WorkloadTrace,
     opts: &CheckOptions,
     runner: &SweepRunner,
-) -> CheckReport {
+) -> (CheckReport, CheckPlan) {
     let p = plan(cfg, trace, opts);
     let mut items: Vec<(u64, bool)> = Vec::with_capacity(p.points.len() * 2);
     for &n in &p.points {
@@ -73,7 +78,8 @@ fn explore(
         let fault = torn.then(|| torn_plan_for(opts.fault_seed, n));
         run_point(cfg, trace, n, fault)
     });
-    assemble(cfg, trace, opts, &p, outcomes)
+    let report = assemble(cfg, trace, opts, &p, outcomes);
+    (report, p)
 }
 
 fn record(label: &str, workload: &str, mutation: &str, report: &CheckReport, passed: bool) -> Json {
@@ -102,23 +108,21 @@ fn print_row(label: &str, report: &CheckReport, verdict: &str) {
     );
 }
 
-fn write_counterexample(dir: &str, name: &str, report: &CheckReport) -> bool {
+/// Routes a report's minimized counterexample into the shared sink,
+/// keyed by the persist-domain signature of its crash point. Returns
+/// whether the report had a counterexample at all (not whether the sink
+/// admitted it — duplicates and the cap must not change the verdict).
+fn sink_counterexample(sink: &mut CxSink, name: &str, report: &CheckReport, p: &CheckPlan) -> bool {
     let Some(cx) = &report.counterexample else {
         return false;
     };
-    let path = std::path::Path::new(dir).join(format!("{name}.jsonl"));
-    if let Err(e) =
-        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &cx.trace_jsonl))
-    {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        eprintln!(
-            "counterexample: {} (point {}, {})",
-            path.display(),
-            cx.point,
-            cx.error
-        );
-    }
+    let signature = persist_signature(&p.samples, cx.point);
+    sink.write(
+        name,
+        signature,
+        &format!("point {}, {}", cx.point, cx.error),
+        &cx.trace_jsonl,
+    );
     true
 }
 
@@ -129,8 +133,9 @@ fn main() {
         max_points: check_max_points_from_env(),
         fault_variant: true,
         fault_seed: 0xC0FFEE,
+        ..CheckOptions::default()
     };
-    let cx_dir = std::env::var("MORLOG_CX_DIR").unwrap_or_else(|_| "counterexamples".to_string());
+    let mut cx_sink = CxSink::from_env();
     let mut sink = ResultSink::new("crash_explore", runner.jobs());
     let mut failed = false;
 
@@ -146,7 +151,7 @@ fn main() {
     for design in DESIGNS {
         let cfg = SystemConfig::for_design(design);
         let trace = smoke_trace(&cfg);
-        let report = explore(&cfg, &trace, &opts, &runner);
+        let (report, p) = explore(&cfg, &trace, &opts, &runner);
         let passed = report.stats.failures == 0;
         if !passed {
             failed = true;
@@ -159,6 +164,7 @@ fn main() {
                     f.error.as_deref().unwrap_or("?")
                 );
             }
+            sink_counterexample(&mut cx_sink, design.label(), &report, &p);
         }
         print_row(design.label(), &report, if passed { "ok" } else { "FAIL" });
         sink.push(record(design.label(), "hash", "none", &report, passed));
@@ -181,9 +187,10 @@ fn main() {
         cfg.hierarchy.force_write_back_period = fwb_period;
         cfg.mutation = mutation;
         let trace = double_store_trace(&cfg, 6);
-        let report = explore(&cfg, &trace, &base_opts, &runner);
+        let (report, p) = explore(&cfg, &trace, &base_opts, &runner);
         let label = format!("{}+{}", design.label(), mutation.label());
-        let caught = report.stats.failures > 0 && write_counterexample(&cx_dir, &label, &report);
+        let caught =
+            report.stats.failures > 0 && sink_counterexample(&mut cx_sink, &label, &report, &p);
         if !caught {
             failed = true;
             eprintln!("FAIL: mutant {label} was not caught — the checker has no teeth");

@@ -1,0 +1,184 @@
+//! Counterexample sink shared by the crash-checking gates.
+//!
+//! `crash_explore` and `crash_fuzz` both produce minimized failing
+//! replays as JSONL traces. This sink centralizes how they land on disk:
+//!
+//! - **Directory**: `MORLOG_CX_DIR` (default `counterexamples/`), one
+//!   `<name>.jsonl` file per counterexample, consumable by `trace_lint`
+//!   and `trace2perfetto`.
+//! - **Deduplication**: a counterexample is identified by the
+//!   persist-domain hash of its crash state (the reference run's fold
+//!   sample at the crash point). Campaigns frequently rediscover the same
+//!   crash state through different fault variants or sampling paths;
+//!   only the first representative of each persist-domain signature is
+//!   written.
+//! - **Cap**: `MORLOG_CX_MAX` bounds the files written per process (a
+//!   runaway mutant on a big campaign would otherwise flood the artifact
+//!   store). A malformed value aborts with exit code 2, matching the
+//!   `MORLOG_CHECK_SHARDS` convention; unset means unbounded.
+
+use std::collections::HashSet;
+
+/// The persist-domain signature of a crash point: the reference run's
+/// hash sample right after the point's last event (`0` for point 0 — the
+/// empty persist domain).
+pub fn persist_signature(samples: &[u64], point: u64) -> u64 {
+    if point == 0 {
+        0
+    } else {
+        samples.get(point as usize - 1).copied().unwrap_or(0)
+    }
+}
+
+/// Parses a `MORLOG_CX_MAX` value: a cap on counterexample files written
+/// per process.
+///
+/// # Errors
+///
+/// Returns a message when the value is not a plain positive integer.
+pub fn parse_cx_max(raw: &str) -> Result<u64, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        Ok(_) => Err(format!("MORLOG_CX_MAX={raw:?} must be at least 1")),
+        Err(_) => Err(format!(
+            "MORLOG_CX_MAX={raw:?} is not a plain positive integer \
+             (suffixes like \"10k\" are not supported)"
+        )),
+    }
+}
+
+/// The counterexample cap from `MORLOG_CX_MAX`. An unset variable means
+/// unbounded; a malformed one aborts with exit code 2, matching the
+/// `MORLOG_CHECK_SHARDS` convention.
+pub fn cx_max_from_env() -> Option<u64> {
+    match std::env::var("MORLOG_CX_MAX") {
+        Err(_) => None,
+        Ok(raw) => Some(parse_cx_max(&raw).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })),
+    }
+}
+
+/// Deduplicating, capped writer for counterexample JSONL traces.
+pub struct CxSink {
+    dir: String,
+    cap: Option<u64>,
+    written: u64,
+    duplicates: u64,
+    capped: u64,
+    seen: HashSet<u64>,
+}
+
+impl CxSink {
+    /// A sink on an explicit directory and cap (the unit-testable core).
+    pub fn new(dir: &str, cap: Option<u64>) -> CxSink {
+        CxSink {
+            dir: dir.to_string(),
+            cap,
+            written: 0,
+            duplicates: 0,
+            capped: 0,
+            seen: HashSet::new(),
+        }
+    }
+
+    /// A sink configured from `MORLOG_CX_DIR` / `MORLOG_CX_MAX`.
+    pub fn from_env() -> CxSink {
+        let dir = std::env::var("MORLOG_CX_DIR").unwrap_or_else(|_| "counterexamples".to_string());
+        CxSink::new(&dir, cx_max_from_env())
+    }
+
+    /// Whether `signature` would be admitted (new and under the cap),
+    /// without recording anything.
+    pub fn admits(&self, signature: u64) -> bool {
+        !self.seen.contains(&signature) && self.cap.is_none_or(|c| self.written < c)
+    }
+
+    /// Writes `<name>.jsonl` unless the signature is a duplicate or the
+    /// cap is exhausted; returns whether the file was written. Filesystem
+    /// errors are reported as warnings (the gate's verdict must not
+    /// depend on artifact storage).
+    pub fn write(&mut self, name: &str, signature: u64, detail: &str, trace_jsonl: &str) -> bool {
+        if !self.seen.insert(signature) {
+            self.duplicates += 1;
+            eprintln!("counterexample: {name} duplicates signature {signature:#018x}, skipped");
+            return false;
+        }
+        if let Some(cap) = self.cap {
+            if self.written >= cap {
+                self.capped += 1;
+                eprintln!("counterexample: {name} dropped (MORLOG_CX_MAX={cap} reached)");
+                return false;
+            }
+        }
+        let path = std::path::Path::new(&self.dir).join(format!("{name}.jsonl"));
+        if let Err(e) =
+            std::fs::create_dir_all(&self.dir).and_then(|()| std::fs::write(&path, trace_jsonl))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("counterexample: {} ({detail})", path.display());
+        }
+        self.written += 1;
+        true
+    }
+
+    /// Files written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Writes skipped as persist-domain duplicates.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Writes dropped by the `MORLOG_CX_MAX` cap.
+    pub fn capped(&self) -> u64 {
+        self.capped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cx_max_parsing_is_strict() {
+        assert_eq!(parse_cx_max("16"), Ok(16));
+        assert_eq!(parse_cx_max(" 1 "), Ok(1));
+        assert!(parse_cx_max("0").is_err());
+        assert!(parse_cx_max("10k").is_err());
+        assert!(parse_cx_max("-2").is_err());
+        assert!(parse_cx_max("").is_err());
+    }
+
+    #[test]
+    fn signature_indexes_hash_samples() {
+        let samples = [11, 22, 33];
+        assert_eq!(persist_signature(&samples, 0), 0);
+        assert_eq!(persist_signature(&samples, 1), 11);
+        assert_eq!(persist_signature(&samples, 3), 33);
+        assert_eq!(persist_signature(&samples, 9), 0, "out of range is benign");
+    }
+
+    #[test]
+    fn sink_dedupes_and_caps() {
+        let dir = std::env::temp_dir().join(format!("morlog-cx-test-{}", std::process::id()));
+        let dir_s = dir.to_string_lossy().to_string();
+        let mut sink = CxSink::new(&dir_s, Some(2));
+        assert!(sink.write("a", 1, "p1", "{}\n"));
+        assert!(!sink.write("a-dup", 1, "p1", "{}\n"), "same signature");
+        assert!(sink.write("b", 2, "p2", "{}\n"));
+        assert!(!sink.write("c", 3, "p3", "{}\n"), "cap reached");
+        assert_eq!(
+            (sink.written(), sink.duplicates(), sink.capped()),
+            (2, 1, 1)
+        );
+        assert!(dir.join("a.jsonl").exists());
+        assert!(dir.join("b.jsonl").exists());
+        assert!(!dir.join("c.jsonl").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

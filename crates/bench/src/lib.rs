@@ -32,6 +32,7 @@ use morlog_sim_core::trace::Tracer;
 use morlog_sim_core::{DesignKind, SystemConfig};
 use morlog_workloads::{cached_generate, DatasetSize, WorkloadConfig, WorkloadKind};
 
+pub mod cx;
 pub mod diff;
 pub mod json;
 pub mod perfetto;

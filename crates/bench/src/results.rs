@@ -40,6 +40,15 @@
 //! the counter arithmetic: `points_total = events + 1`,
 //! `explored + pruned + capped >= points_total` (the torn-drain variant
 //! can explore each point twice), and `verified + failures = explored`.
+//! Version 5 added the two record kinds emitted by `crash_fuzz`:
+//! `"crash_fuzz"` carries one coverage-guided random campaign's counters
+//! (`events`, `sampled`, `novel`, `pruned`, `executed`, `verified`,
+//! `failures`, `coverage`) and the gate verdict (`passed`); the
+//! validator checks `executed + pruned = sampled` and
+//! `verified + failures = executed`. `"crash_diff"` carries one
+//! differential cross-design run (`design_a`, `design_b`, `checked`,
+//! `divergences`, `passed`, and the culprit label when diverging); the
+//! validator checks `divergences <= checked`.
 //!
 //! [`StallKind`]: morlog_sim_core::stats::StallKind
 
@@ -55,7 +64,7 @@ use crate::json::Json;
 use crate::TimedRun;
 
 /// Version stamp of the `results/*.json` envelope and record layout.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Collects result records for one bench binary and writes
 /// `results/<bench>.json` on [`ResultSink::finish`].
@@ -411,6 +420,100 @@ pub fn validate_document(doc: &Json) -> Result<(), String> {
         if kind == "crash_check" {
             validate_crash_check_record(record).map_err(|e| format!("record {i}: {e}"))?;
         }
+        if kind == "crash_fuzz" {
+            validate_crash_fuzz_record(record).map_err(|e| format!("record {i}: {e}"))?;
+        }
+        if kind == "crash_diff" {
+            validate_crash_diff_record(record).map_err(|e| format!("record {i}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Validates one `"crash_fuzz"` record (schema v5): a coverage-guided
+/// random campaign's counters must be present and arithmetically
+/// consistent.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending field.
+pub fn validate_crash_fuzz_record(record: &Json) -> Result<(), String> {
+    for key in ["design", "workload", "mutation"] {
+        require_kind(
+            record,
+            key,
+            "crash_fuzz",
+            |v| v.as_str().is_some(),
+            "a string",
+        )?;
+    }
+    require_kind(
+        record,
+        "passed",
+        "crash_fuzz",
+        |v| matches!(v, Json::Bool(_)),
+        "a bool",
+    )?;
+    let counter = |key: &str| -> Result<u64, String> {
+        require(record, key, "crash_fuzz")?
+            .as_u64()
+            .ok_or_else(|| format!("crash_fuzz: field {key:?} is not an integer"))
+    };
+    counter("events")?;
+    counter("novel")?;
+    counter("coverage")?;
+    let sampled = counter("sampled")?;
+    let pruned = counter("pruned")?;
+    let executed = counter("executed")?;
+    let verified = counter("verified")?;
+    let failures = counter("failures")?;
+    if executed + pruned != sampled {
+        return Err(format!(
+            "crash_fuzz: executed {executed} + pruned {pruned} != sampled {sampled}"
+        ));
+    }
+    if verified + failures != executed {
+        return Err(format!(
+            "crash_fuzz: verified {verified} + failures {failures} != executed {executed}"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates one `"crash_diff"` record (schema v5): a differential
+/// cross-design run.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending field.
+pub fn validate_crash_diff_record(record: &Json) -> Result<(), String> {
+    for key in ["design_a", "design_b", "workload", "culprit"] {
+        require_kind(
+            record,
+            key,
+            "crash_diff",
+            |v| v.as_str().is_some(),
+            "a string",
+        )?;
+    }
+    require_kind(
+        record,
+        "passed",
+        "crash_diff",
+        |v| matches!(v, Json::Bool(_)),
+        "a bool",
+    )?;
+    let counter = |key: &str| -> Result<u64, String> {
+        require(record, key, "crash_diff")?
+            .as_u64()
+            .ok_or_else(|| format!("crash_diff: field {key:?} is not an integer"))
+    };
+    let checked = counter("checked")?;
+    let divergences = counter("divergences")?;
+    if divergences > checked {
+        return Err(format!(
+            "crash_diff: divergences {divergences} > checked {checked}"
+        ));
     }
     Ok(())
 }

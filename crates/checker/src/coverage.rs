@@ -1,0 +1,81 @@
+//! Coverage signal for the random crash campaign.
+//!
+//! A crash point is interesting when it lands somewhere the campaign has
+//! not crashed before. "Somewhere" is deliberately coarse: the bucket is
+//! the *kind* of persist event the crash lands on (data line, undo+redo
+//! record, coalesced redo, commit marker) crossed with the workload's
+//! progress decile. The cross-product is small (40 buckets), so early
+//! samples light buckets quickly and the campaign spends its budget
+//! resampling the neighborhoods of genuinely fresh (kind, phase)
+//! combinations — e.g. the first crash landing on a commit record late in
+//! the run — instead of re-rolling the bulk of the schedule.
+
+use morlog_sim_core::PersistEventKind;
+
+/// Workload-progress buckets per event kind (deciles).
+pub const PROGRESS_BUCKETS: usize = 10;
+
+/// Hit map over `(event kind, progress decile)` buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    hits: [[u64; PROGRESS_BUCKETS]; PersistEventKind::ALL.len()],
+}
+
+impl CoverageMap {
+    /// An empty map (no bucket hit yet).
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// The bucket for a crash right after event `point` (1-based) of a
+    /// schedule with `events` total persist events.
+    pub fn bucket(kind: PersistEventKind, point: u64, events: u64) -> (usize, usize) {
+        let decile = (point.saturating_sub(1) * PROGRESS_BUCKETS as u64 / events.max(1))
+            .min(PROGRESS_BUCKETS as u64 - 1) as usize;
+        (kind.index(), decile)
+    }
+
+    /// Records one crash sample; returns `true` when its bucket was
+    /// previously empty (a novel coverage signal).
+    pub fn record(&mut self, kind: PersistEventKind, point: u64, events: u64) -> bool {
+        let (k, d) = CoverageMap::bucket(kind, point, events);
+        self.hits[k][d] += 1;
+        self.hits[k][d] == 1
+    }
+
+    /// Number of distinct buckets hit so far.
+    pub fn hit_buckets(&self) -> u64 {
+        self.hits.iter().flatten().filter(|&&h| h > 0).count() as u64
+    }
+
+    /// Total bucket count (the denominator for coverage ratios).
+    pub fn total_buckets() -> u64 {
+        (PersistEventKind::ALL.len() * PROGRESS_BUCKETS) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_hit_is_novel_and_repeats_are_not() {
+        let mut map = CoverageMap::new();
+        assert!(map.record(PersistEventKind::Commit, 91, 100));
+        assert!(!map.record(PersistEventKind::Commit, 95, 100));
+        assert!(map.record(PersistEventKind::Commit, 5, 100));
+        assert_eq!(map.hit_buckets(), 2);
+    }
+
+    #[test]
+    fn buckets_span_deciles_without_overflow() {
+        assert_eq!(CoverageMap::bucket(PersistEventKind::DataLine, 1, 100).1, 0);
+        assert_eq!(
+            CoverageMap::bucket(PersistEventKind::DataLine, 100, 100).1,
+            PROGRESS_BUCKETS - 1
+        );
+        // Degenerate schedules must not panic or index out of range.
+        assert_eq!(CoverageMap::bucket(PersistEventKind::Redo, 0, 0), (2, 0));
+        assert_eq!(CoverageMap::total_buckets(), 40);
+    }
+}

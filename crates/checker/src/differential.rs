@@ -1,0 +1,334 @@
+//! Differential cross-design crash checking.
+//!
+//! The oracle checks one design against the *program*; this module checks
+//! two designs against *each other*. Both run the same workload; the
+//! reference runs yield each design's persist-event count, and the two
+//! schedules are crashed at matched persist-progress fractions (the two
+//! designs accept different event streams, so absolute points are not
+//! comparable — fractions of total progress are). After crash + recovery:
+//!
+//! 1. Each design is verified against its own oracle. A failure tags the
+//!    *culprit* design — this is how a spec-divergence mutant such as
+//!    [`CheckMutation::SkewRedoValue`] is pinned to the design carrying
+//!    it.
+//! 2. When both pass, recovered program-visible state is compared where a
+//!    cross-design invariant holds:
+//!    - on the **final** pair (crash after the full schedule, both
+//!      designs quiesced) every workload-touched word must match exactly;
+//!    - on interim pairs, when both designs rolled forward and rolled
+//!      back the *same* transaction sets, words owned by exactly one
+//!      redone transaction must match (both recoveries replayed the same
+//!      transaction's redo values, which are program-determined).
+//!
+//!    Interim pairs with differing replay sets are legitimately divergent
+//!    schedules and are not compared — persist progress is a per-design
+//!    notion, not a spec obligation.
+//!
+//! A divergence is minimized to the smallest fraction exhibiting it and
+//! re-run with tracing on the culprit design for replayable evidence.
+//!
+//! [`CheckMutation::SkewRedoValue`]: morlog_sim_core::CheckMutation::SkewRedoValue
+
+use morlog_sim::System;
+use morlog_sim_core::{Addr, SystemConfig, TxKey};
+use morlog_workloads::{Op, WorkloadTrace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which design a divergence is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffCulprit {
+    /// Design A failed its own oracle.
+    DesignA,
+    /// Design B failed its own oracle.
+    DesignB,
+    /// Both failed, or both passed their oracles yet disagree on
+    /// program-visible state (the spec cannot say which is right).
+    Both,
+}
+
+impl DiffCulprit {
+    /// Stable label for reports and JSON records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DiffCulprit::DesignA => "a",
+            DiffCulprit::DesignB => "b",
+            DiffCulprit::Both => "both",
+        }
+    }
+}
+
+/// One matched-fraction crash pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffPair {
+    /// Pair index (ascending fraction).
+    pub index: u64,
+    /// Crash point in design A's schedule.
+    pub point_a: u64,
+    /// Crash point in design B's schedule.
+    pub point_b: u64,
+}
+
+/// The matched crash schedule for one differential run.
+#[derive(Debug, Clone)]
+pub struct DiffPlan {
+    /// Crash pairs, ascending fraction; the last pair crashes after each
+    /// design's full schedule.
+    pub pairs: Vec<DiffPair>,
+    /// Persist events in design A's reference schedule.
+    pub events_a: u64,
+    /// Persist events in design B's reference schedule.
+    pub events_b: u64,
+}
+
+/// Verdict of one executed crash pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffOutcome {
+    /// The pair that was replayed.
+    pub pair: DiffPair,
+    /// The divergence, if any: culprit plus description.
+    pub divergence: Option<(DiffCulprit, String)>,
+}
+
+/// The smallest diverging pair plus its replayable evidence.
+#[derive(Debug, Clone)]
+pub struct DiffDivergence {
+    /// Crash point in design A's schedule.
+    pub point_a: u64,
+    /// Crash point in design B's schedule.
+    pub point_b: u64,
+    /// Which design the divergence is attributed to.
+    pub culprit: DiffCulprit,
+    /// Description of the divergence.
+    pub error: String,
+    /// JSONL event trace of the culprit's failing replay (design A when
+    /// the culprit is `Both`).
+    pub trace_jsonl: String,
+}
+
+/// Aggregated verdict of a differential run.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Crash pairs executed.
+    pub checked: u64,
+    /// Pairs that diverged.
+    pub divergences: u64,
+    /// Every diverging pair, ascending fraction.
+    pub failures: Vec<DiffOutcome>,
+    /// The minimized divergence, when any pair diverged.
+    pub divergence: Option<DiffDivergence>,
+}
+
+/// Builds the matched crash schedule: `pairs` fractions `i / pairs` for
+/// `i` in `1..=pairs`, each rounded into both designs' event ranges. The
+/// final pair always crashes after the complete schedules.
+pub fn diff_plan(
+    cfg_a: &SystemConfig,
+    cfg_b: &SystemConfig,
+    trace: &WorkloadTrace,
+    pairs: u64,
+) -> DiffPlan {
+    let events_of = |cfg: &SystemConfig| {
+        let mut sys = System::new(cfg.clone(), trace);
+        sys.enable_persist_hash();
+        sys.run();
+        sys.persist_hash_samples().len() as u64
+    };
+    let events_a = events_of(cfg_a);
+    let events_b = events_of(cfg_b);
+    let pairs = pairs.max(1);
+    let schedule = (1..=pairs)
+        .map(|i| DiffPair {
+            index: i - 1,
+            point_a: events_a * i / pairs,
+            point_b: events_b * i / pairs,
+        })
+        .collect();
+    DiffPlan {
+        pairs: schedule,
+        events_a,
+        events_b,
+    }
+}
+
+/// Every word address the workload touches (initial images and stores).
+fn touched_words(trace: &WorkloadTrace) -> BTreeSet<Addr> {
+    let mut words = BTreeSet::new();
+    for thread in &trace.threads {
+        for (addr, _) in &thread.initial {
+            words.insert(addr.word_base());
+        }
+        for tx in &thread.transactions {
+            for op in &tx.ops {
+                if let Op::Store(addr, _) = op {
+                    words.insert(addr.word_base());
+                }
+            }
+        }
+    }
+    words
+}
+
+/// Maps each word to the set of transactions that store to it.
+fn word_writers(trace: &WorkloadTrace) -> BTreeMap<Addr, BTreeSet<TxKey>> {
+    let mut writers: BTreeMap<Addr, BTreeSet<TxKey>> = BTreeMap::new();
+    for (t, thread) in trace.threads.iter().enumerate() {
+        for (x, tx) in thread.transactions.iter().enumerate() {
+            let key = TxKey::new(
+                morlog_sim_core::ThreadId::new(t as u8),
+                morlog_sim_core::TxId::new(x as u16),
+            );
+            for op in &tx.ops {
+                if let Op::Store(addr, _) = op {
+                    writers.entry(addr.word_base()).or_default().insert(key);
+                }
+            }
+        }
+    }
+    writers
+}
+
+struct CrashedState {
+    error: Option<String>,
+    redone: BTreeSet<TxKey>,
+    undone: BTreeSet<TxKey>,
+    words: BTreeMap<Addr, u64>,
+}
+
+fn crash_and_recover(
+    cfg: &SystemConfig,
+    trace: &WorkloadTrace,
+    point: u64,
+    words: &BTreeSet<Addr>,
+) -> CrashedState {
+    let mut sys = System::new(cfg.clone(), trace);
+    sys.arm_crash_at(point);
+    sys.run_until_crash_point();
+    sys.crash();
+    let report = sys.recover();
+    let error = sys.verify_recovery(&report).err();
+    let recovered = words
+        .iter()
+        .map(|&addr| {
+            let line = sys.memory().read_line(addr.line());
+            (addr, line.word(addr.word_index()))
+        })
+        .collect();
+    CrashedState {
+        error,
+        redone: report.redone.iter().copied().collect(),
+        undone: report.undone.iter().copied().collect(),
+        words: recovered,
+    }
+}
+
+/// Replays one crash pair on both designs and compares the verdicts.
+pub fn run_diff_pair(
+    cfg_a: &SystemConfig,
+    cfg_b: &SystemConfig,
+    trace: &WorkloadTrace,
+    plan: &DiffPlan,
+    pair: DiffPair,
+) -> DiffOutcome {
+    let words = touched_words(trace);
+    let a = crash_and_recover(cfg_a, trace, pair.point_a, &words);
+    let b = crash_and_recover(cfg_b, trace, pair.point_b, &words);
+    let divergence = match (&a.error, &b.error) {
+        (Some(ea), Some(eb)) => Some((
+            DiffCulprit::Both,
+            format!("both designs failed their oracles: a: {ea}; b: {eb}"),
+        )),
+        (Some(ea), None) => Some((DiffCulprit::DesignA, ea.clone())),
+        (None, Some(eb)) => Some((DiffCulprit::DesignB, eb.clone())),
+        (None, None) => {
+            let final_pair = pair.point_a == plan.events_a && pair.point_b == plan.events_b;
+            let comparable: Box<dyn Fn(Addr) -> bool> = if final_pair {
+                Box::new(|_| true)
+            } else if a.redone == b.redone && a.undone == b.undone && !a.redone.is_empty() {
+                let writers = word_writers(trace);
+                let redone = a.redone.clone();
+                Box::new(move |addr| {
+                    writers
+                        .get(&addr)
+                        .is_some_and(|w| w.len() == 1 && w.iter().all(|k| redone.contains(k)))
+                })
+            } else {
+                Box::new(|_| false)
+            };
+            words
+                .iter()
+                .filter(|&&addr| comparable(addr))
+                .find(|&&addr| a.words[&addr] != b.words[&addr])
+                .map(|&addr| {
+                    (
+                        DiffCulprit::Both,
+                        format!(
+                            "recovered state diverges at {addr:?}: a={:#x}, b={:#x}",
+                            a.words[&addr], b.words[&addr]
+                        ),
+                    )
+                })
+        }
+    };
+    DiffOutcome { pair, divergence }
+}
+
+/// Merges pair outcomes into the final report; the minimized divergence
+/// (smallest fraction) is re-run with tracing on the culprit design.
+pub fn assemble_diff(
+    cfg_a: &SystemConfig,
+    cfg_b: &SystemConfig,
+    trace: &WorkloadTrace,
+    outcomes: Vec<DiffOutcome>,
+) -> DiffReport {
+    let checked = outcomes.len() as u64;
+    let mut failures: Vec<DiffOutcome> = outcomes
+        .into_iter()
+        .filter(|o| o.divergence.is_some())
+        .collect();
+    failures.sort_by_key(|o| o.pair.index);
+    let divergence = failures.first().map(|f| {
+        let (culprit, error) = f.divergence.clone().expect("failures carry divergences");
+        let (cfg, point) = match culprit {
+            DiffCulprit::DesignB => (cfg_b, f.pair.point_b),
+            _ => (cfg_a, f.pair.point_a),
+        };
+        let mut traced = cfg.clone();
+        traced.trace.enabled = true;
+        traced.trace.buffer_capacity = 1 << 20;
+        let mut sys = System::new(traced, trace);
+        sys.arm_crash_at(point);
+        sys.run_until_crash_point();
+        sys.crash();
+        let report = sys.recover();
+        let _ = sys.verify_recovery(&report);
+        DiffDivergence {
+            point_a: f.pair.point_a,
+            point_b: f.pair.point_b,
+            culprit,
+            error,
+            trace_jsonl: sys.tracer().to_jsonl(),
+        }
+    });
+    DiffReport {
+        checked,
+        divergences: failures.len() as u64,
+        failures,
+        divergence,
+    }
+}
+
+/// Plans and executes a whole differential run on the calling thread.
+pub fn diff(
+    cfg_a: &SystemConfig,
+    cfg_b: &SystemConfig,
+    trace: &WorkloadTrace,
+    pairs: u64,
+) -> DiffReport {
+    let plan = diff_plan(cfg_a, cfg_b, trace, pairs);
+    let outcomes = plan
+        .pairs
+        .iter()
+        .map(|&pair| run_diff_pair(cfg_a, cfg_b, trace, &plan, pair))
+        .collect();
+    assemble_diff(cfg_a, cfg_b, trace, outcomes)
+}

@@ -51,9 +51,19 @@
 
 #![deny(missing_docs)]
 
+pub mod coverage;
+pub mod differential;
+pub mod fuzz;
+pub mod reduce;
+
+pub use coverage::CoverageMap;
+pub use differential::{diff, DiffCulprit, DiffDivergence, DiffOutcome, DiffReport};
+pub use fuzz::{fuzz, FuzzCounterexample, FuzzItem, FuzzOptions, FuzzOutcome, FuzzReport};
+
 use morlog_sim::System;
-use morlog_sim_core::{Addr, CheckStats, FaultPlan, SystemConfig};
+use morlog_sim_core::{Addr, CheckStats, FaultPlan, FaultVariantKind, SystemConfig};
 use morlog_workloads::{Op, ThreadTrace, Transaction, WorkloadTrace};
+use std::collections::HashSet;
 
 /// Tuning knobs for one checker invocation.
 #[derive(Debug, Clone, Default)]
@@ -70,6 +80,14 @@ pub struct CheckOptions {
     /// Base seed for the per-point fault plans (site-keyed rolls stay
     /// deterministic per point regardless of sharding).
     pub fault_seed: u64,
+    /// Partial-order reduction: additionally prune crash points whose
+    /// recovery outcome is pinned to their predecessor's — in-place data
+    /// writes fully covered by live undo+redo records (see
+    /// [`reduce::recovery_pinned_points`]). Only honored when
+    /// `fault_variant` is off: a torn covering record makes recovery skip
+    /// the word, so the in-place value becomes observable and the
+    /// equivalence breaks.
+    pub reduce: bool,
 }
 
 /// The reference run's persist-event schedule, reduced to the set of
@@ -79,6 +97,10 @@ pub struct CheckPlan {
     /// Crash points to explore, ascending (`n` = crash after the `n`th
     /// persist event; `0` = nothing persisted).
     pub points: Vec<u64>,
+    /// The reference run's persist-domain hash samples (`samples[i]` =
+    /// fold right after event `i + 1`) — the persist-state signature of
+    /// each crash point, used downstream to deduplicate counterexamples.
+    pub samples: Vec<u64>,
     /// Plan-side counters: `events`, `points_total`, `pruned`, `capped`
     /// are filled here; the replay-side counters stay zero until
     /// [`assemble`].
@@ -132,13 +154,23 @@ pub struct CheckReport {
 pub fn plan(cfg: &SystemConfig, trace: &WorkloadTrace, opts: &CheckOptions) -> CheckPlan {
     let mut sys = System::new(cfg.clone(), trace);
     sys.enable_persist_hash();
+    let por = opts.reduce && !opts.fault_variant;
+    if por {
+        sys.enable_persist_meta();
+    }
     sys.run();
     let samples = sys.persist_hash_samples();
     let events = samples.len() as u64;
+    let pinned = if por {
+        reduce::recovery_pinned_points(sys.persist_event_meta())
+    } else {
+        HashSet::new()
+    };
     let mut points = Vec::new();
     let mut pruned = 0u64;
     for n in 0..=events {
-        if n >= 2 && samples[n as usize - 1] == samples[n as usize - 2] {
+        let silent = n >= 2 && samples[n as usize - 1] == samples[n as usize - 2];
+        if silent || pinned.contains(&n) {
             pruned += 1;
         } else {
             points.push(n);
@@ -159,7 +191,12 @@ pub fn plan(cfg: &SystemConfig, trace: &WorkloadTrace, opts: &CheckOptions) -> C
         capped,
         ..CheckStats::default()
     };
-    CheckPlan { points, stats }
+    let samples = samples.to_vec();
+    CheckPlan {
+        points,
+        samples,
+        stats,
+    }
 }
 
 /// The torn-drain fault plan used for crash point `point` when
@@ -167,11 +204,9 @@ pub fn plan(cfg: &SystemConfig, trace: &WorkloadTrace, opts: &CheckOptions) -> C
 /// (the site-keyed roll picks which) loses a suffix of its data words in
 /// the ADR flush.
 pub fn torn_plan_for(fault_seed: u64, point: u64) -> FaultPlan {
-    let mut plan = FaultPlan::single_torn(fault_seed ^ point.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    // Tear unconditionally (budget still 1): the interesting roll is
-    // *which* in-flight slot tears, not whether one does.
-    plan.torn_drain_per_mille = 1000;
-    plan
+    FaultVariantKind::Torn
+        .plan_for(fault_seed, point)
+        .expect("the torn variant always composes a plan")
 }
 
 /// Replays one crash point: run to the freeze, crash, recover, verify.
@@ -384,6 +419,71 @@ pub fn check_shards_from_env() -> Option<usize> {
     match std::env::var("MORLOG_CHECK_SHARDS") {
         Err(_) => None,
         Ok(raw) => Some(parse_check_shards(&raw).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })),
+    }
+}
+
+/// Parses a `MORLOG_FUZZ_POINTS` value: base crash points per fuzz
+/// campaign (the deterministic size knob — two runs with equal seeds and
+/// points produce byte-identical reports).
+///
+/// # Errors
+///
+/// Returns a message when the value is not a plain positive integer.
+pub fn parse_fuzz_points(raw: &str) -> Result<u64, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        Ok(_) => Err(format!("MORLOG_FUZZ_POINTS={raw:?} must be at least 1")),
+        Err(_) => Err(format!(
+            "MORLOG_FUZZ_POINTS={raw:?} is not a plain positive integer \
+             (suffixes like \"10k\" are not supported)"
+        )),
+    }
+}
+
+/// The campaign size from `MORLOG_FUZZ_POINTS`. An unset variable lets
+/// the caller pick a default; a malformed one aborts with exit code 2,
+/// matching the `MORLOG_TXS`/`MORLOG_JOBS` convention.
+pub fn fuzz_points_from_env() -> Option<u64> {
+    match std::env::var("MORLOG_FUZZ_POINTS") {
+        Err(_) => None,
+        Ok(raw) => Some(parse_fuzz_points(&raw).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })),
+    }
+}
+
+/// Parses a `MORLOG_FUZZ_BUDGET_MS` value: a wall-clock budget for the
+/// nightly deep campaign. Campaign *rounds* stop once the budget is
+/// spent, so the report depends on machine speed — use
+/// `MORLOG_FUZZ_POINTS` instead wherever determinism matters (shard
+/// diffing, per-PR smoke).
+///
+/// # Errors
+///
+/// Returns a message when the value is not a plain positive integer.
+pub fn parse_fuzz_budget_ms(raw: &str) -> Result<u64, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        Ok(_) => Err(format!("MORLOG_FUZZ_BUDGET_MS={raw:?} must be at least 1")),
+        Err(_) => Err(format!(
+            "MORLOG_FUZZ_BUDGET_MS={raw:?} is not a plain positive integer \
+             millisecond count (suffixes like \"5s\" are not supported)"
+        )),
+    }
+}
+
+/// The wall-clock budget from `MORLOG_FUZZ_BUDGET_MS`. An unset variable
+/// means no budget (run the configured rounds to completion); a malformed
+/// one aborts with exit code 2, matching the `MORLOG_TXS`/`MORLOG_JOBS`
+/// convention.
+pub fn fuzz_budget_ms_from_env() -> Option<u64> {
+    match std::env::var("MORLOG_FUZZ_BUDGET_MS") {
+        Err(_) => None,
+        Ok(raw) => Some(parse_fuzz_budget_ms(&raw).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2);
         })),

@@ -460,7 +460,15 @@ impl LogController {
         }
     }
 
-    fn queue_redo(&mut self, record: LogRecord, now: Cycle) {
+    fn queue_redo(&mut self, mut record: LogRecord, now: Cycle) {
+        // Sabotage for the differential checker's spec-divergence test: the
+        // logged redo value is off by one. The program observes correct
+        // values all the way to the crash, but recovery rolls winners
+        // forward to a state a faithful design never reaches — exactly the
+        // cross-design disagreement the differential mode must catch.
+        if self.mutation == CheckMutation::SkewRedoValue {
+            record.redo = record.redo.wrapping_add(1);
+        }
         self.stats.redo_created += 1;
         if self.commit_cycle.contains_key(&record.key)
             || self.pending_commits.values().any(|p| p.key == record.key)

@@ -63,6 +63,10 @@ pub struct RecoveryReport {
     /// Undamaged records dropped from roll-forward because they follow a
     /// damaged record of the same thread (replay stops at first damage).
     pub dropped_records: usize,
+    /// Whether this recovery pass was cut short by a second crash
+    /// ([`recover_interrupted`]): the log region is intact and another
+    /// recovery pass must run before the state is trustworthy.
+    pub interrupted: bool,
 }
 
 impl RecoveryReport {
@@ -127,6 +131,44 @@ fn classify(s: &ScannedRecord) -> Option<Damage> {
 /// assert!(!report.saw_damage());
 /// ```
 pub fn recover(mc: &mut MemoryController, delay_persistence: bool) -> RecoveryReport {
+    recover_inner(mc, delay_persistence, None)
+}
+
+/// Runs recovery but crashes it after `apply_budget` replay writes — the
+/// double-crash scenario: power is lost again while the routine is rolling
+/// winners forward (or losers back). The partial pass stops mid-replay and
+/// leaves the log region intact (entries are only deleted *after* every
+/// update is in place), so a subsequent [`recover`] re-scans the full ring
+/// and must converge to the same state an uninterrupted recovery produces.
+/// Replay writes are absolute values, so re-applying them is idempotent.
+///
+/// The returned report carries the winner/loser determination (which is
+/// complete before any replay write) with
+/// [`RecoveryReport::interrupted`] set.
+pub fn recover_interrupted(
+    mc: &mut MemoryController,
+    delay_persistence: bool,
+    apply_budget: usize,
+) -> RecoveryReport {
+    recover_inner(mc, delay_persistence, Some(apply_budget))
+}
+
+fn recover_inner(
+    mc: &mut MemoryController,
+    delay_persistence: bool,
+    apply_budget: Option<usize>,
+) -> RecoveryReport {
+    // Budget of replay writes before the simulated second crash; `None`
+    // never interrupts.
+    let mut budget = apply_budget;
+    let mut spend = move || match &mut budget {
+        None => true,
+        Some(0) => false,
+        Some(n) => {
+            *n -= 1;
+            true
+        }
+    };
     // Gather and classify records from every log slice (one for the
     // centralized log, several for the §III-F distributed variant). A
     // transaction's records all live in its thread's slice, so per-slice
@@ -235,9 +277,13 @@ pub fn recover(mc: &mut MemoryController, delay_persistence: bool) -> RecoveryRe
 
     // Forward pass: winners in commit order, records in append order.
     let mut redone_words = 0u64;
-    for key in &winners {
+    'forward: for key in &winners {
         if let Some(recs) = by_tx.get(key) {
             for s in recs {
+                if !spend() {
+                    report.interrupted = true;
+                    break 'forward;
+                }
                 apply_word(mc, s.stored.record.addr, s.stored.record.redo);
                 redone_words += 1;
             }
@@ -291,6 +337,10 @@ pub fn recover(mc: &mut MemoryController, delay_persistence: bool) -> RecoveryRe
         count: undos.len() as u64,
     });
     for &(_, _, addr, undo) in undos.iter().rev() {
+        if report.interrupted || !spend() {
+            report.interrupted = true;
+            break;
+        }
         apply_word(mc, addr, undo);
     }
     // Committed-but-unpersisted transactions past the delay-persistence
@@ -308,6 +358,16 @@ pub fn recover(mc: &mut MemoryController, delay_persistence: bool) -> RecoveryRe
     report.undone = undone;
 
     // "After that, log entries are deleted by updating the log head pointer."
+    // A second crash mid-replay leaves the ring intact: entries may only be
+    // deleted once every update is in place, so the next recovery pass can
+    // re-derive everything the interrupted one did.
+    if report.interrupted {
+        tracer.emit(at, || TraceEvent::Recovery {
+            step: RecoveryStepTag::Interrupted,
+            count: report.undone.len() as u64,
+        });
+        return report;
+    }
     mc.clear_log();
     tracer.emit(at, || TraceEvent::Recovery {
         step: RecoveryStepTag::Done,
@@ -572,6 +632,55 @@ mod tests {
         let mut m = mc();
         let report = recover(&mut m, true);
         assert_eq!(report, RecoveryReport::default());
+    }
+
+    /// Double crash: recovery dies after every possible number of replay
+    /// writes; a second, uninterrupted pass must land on exactly the state
+    /// a single uninterrupted recovery produces.
+    #[test]
+    fn interrupted_recovery_converges_on_second_pass() {
+        let build = || {
+            let mut m = mc();
+            let a0 = m.map().data_base();
+            let a1 = Addr::new(a0.as_u64() + 8);
+            let (k1, k2) = (key(0, 0), key(1, 0));
+            // Winner k1 writes both words; loser k2 overwrote a1 in place.
+            m.try_append_log(LogRecord::undo_redo(k1, a0, 0, 5, 0xFF), 0)
+                .unwrap();
+            m.try_append_log(LogRecord::undo_redo(k1, a1, 0, 6, 0xFF), 0)
+                .unwrap();
+            m.try_append_log(LogRecord::commit(k1, None), 0).unwrap();
+            m.try_append_log(LogRecord::undo_redo(k2, a1, 6, 9, 0xFF), 0)
+                .unwrap();
+            let mut line = m.read_line(a1.line());
+            line.set_word(a1.word_index(), 9);
+            m.write_line_functional(a1.line(), line);
+            (m, a0, a1)
+        };
+        let (mut reference, a0, a1) = build();
+        recover(&mut reference, false);
+        let want = (word_at(&reference, a0), word_at(&reference, a1));
+        assert_eq!(want, (5, 6));
+        for budget in 0..3 {
+            let (mut m, a0, a1) = build();
+            let partial = recover_interrupted(&mut m, false, budget);
+            assert!(partial.interrupted, "budget {budget} must interrupt");
+            assert!(
+                !m.log_region().is_empty(),
+                "interrupted recovery must not delete log entries"
+            );
+            let second = recover(&mut m, false);
+            assert!(!second.interrupted);
+            assert_eq!(second.redone, vec![key(0, 0)]);
+            assert_eq!(second.undone, vec![key(1, 0)]);
+            assert_eq!((word_at(&m, a0), word_at(&m, a1)), want, "budget {budget}");
+            assert!(m.log_region().is_empty());
+        }
+        // A budget past the total replay count no longer interrupts.
+        let (mut m, _, _) = build();
+        let full = recover_interrupted(&mut m, false, 64);
+        assert!(!full.interrupted);
+        assert!(m.log_region().is_empty());
     }
 }
 

@@ -18,6 +18,7 @@ use morlog_encoding::slde::{EncodingChoice, SldeCodec};
 use morlog_sim_core::fault::FaultPlan;
 use morlog_sim_core::ids::TxKey;
 use morlog_sim_core::metrics::LogWriteMetrics;
+use morlog_sim_core::persist::{PersistEventKind, PersistEventMeta};
 use morlog_sim_core::stats::MemStats;
 use morlog_sim_core::trace::{LogKindTag, TraceEvent, Tracer};
 use morlog_sim_core::{Addr, Cycle, Frequency, LineAddr, LineData, MemConfig};
@@ -260,6 +261,11 @@ pub struct MemoryController {
     crash_at: Option<u64>,
     /// Persist-domain hash sampling (checker reference runs only).
     hash_trace: Option<HashTrace>,
+    /// Persist-event metadata stream (checker reference runs only): one
+    /// entry per acceptance, with truncation markers interleaved. Feeds
+    /// the fuzz campaign's coverage buckets and the exhaustive mode's
+    /// partial-order reduction.
+    meta_trace: Option<Vec<PersistEventMeta>>,
 }
 
 impl MemoryController {
@@ -297,6 +303,7 @@ impl MemoryController {
             log_metrics: LogWriteMetrics::default(),
             crash_at: None,
             hash_trace: None,
+            meta_trace: None,
             cfg,
             freq,
             map,
@@ -481,6 +488,21 @@ impl MemoryController {
                     let old = self.module.read_data_line(line);
                     ht.state ^= hash_line(line, &old) ^ hash_line(line, &data);
                 }
+                if self.meta_trace.is_some() {
+                    let old = self.module.read_data_line(line);
+                    let mut changed = 0u8;
+                    for i in 0..morlog_sim_core::WORDS_PER_LINE {
+                        if old.word(i) != data.word(i) {
+                            changed |= 1 << i;
+                        }
+                    }
+                    if let Some(mt) = &mut self.meta_trace {
+                        mt.push(PersistEventMeta::Data {
+                            line: line.index(),
+                            changed,
+                        });
+                    }
+                }
                 let serviced = self.module.write_data_line(line, data);
                 self.account_write(&serviced.cost, false, &serviced.choices);
                 let service_cycles = self.write_service_cycles(&serviced.cost);
@@ -559,6 +581,19 @@ impl MemoryController {
         };
         if let Some(ht) = &mut self.hash_trace {
             ht.state ^= hash_record(slice, &stored);
+        }
+        if let Some(mt) = &mut self.meta_trace {
+            mt.push(PersistEventMeta::Log {
+                kind: match stored.record.kind {
+                    LogRecordKind::UndoRedo => PersistEventKind::UndoRedo,
+                    LogRecordKind::Redo => PersistEventKind::Redo,
+                    LogRecordKind::Commit => PersistEventKind::Commit,
+                },
+                key: stored.record.key,
+                addr: stored.record.addr,
+                slice,
+                offset: stored.offset,
+            });
         }
         let physical = stored.offset % self.logs[slice].capacity();
         // Slot-state keys are unique across slices.
@@ -668,6 +703,20 @@ impl MemoryController {
     /// was called.
     pub fn persist_hash_samples(&self) -> &[u64] {
         self.hash_trace.as_ref().map_or(&[], |ht| &ht.samples)
+    }
+
+    /// Starts persist-event metadata recording (checker reference runs):
+    /// one [`PersistEventMeta`] entry per acceptance, with truncation
+    /// markers interleaved where log records left the persist domain.
+    pub fn enable_persist_meta(&mut self) {
+        self.meta_trace = Some(Vec::new());
+    }
+
+    /// The recorded persist-event metadata stream. Empty unless
+    /// [`enable_persist_meta`](MemoryController::enable_persist_meta) was
+    /// called.
+    pub fn persist_event_meta(&self) -> &[PersistEventMeta] {
+        self.meta_trace.as_deref().unwrap_or(&[])
     }
 
     /// Whether any accepted-but-undrained undo-carrying log write covers
@@ -805,6 +854,18 @@ impl MemoryController {
                 ht.state ^= hash_record(slice, stored);
             }
         }
+        if self.meta_trace.is_some() {
+            let offsets: Vec<u64> = self.logs[slice]
+                .records()
+                .take_while(|s| s.offset < offset)
+                .map(|s| s.offset)
+                .collect();
+            if !offsets.is_empty() {
+                if let Some(mt) = &mut self.meta_trace {
+                    mt.push(PersistEventMeta::Truncate { slice, offsets });
+                }
+            }
+        }
         let old_head = self.logs[slice].head();
         self.logs[slice].truncate_to(offset);
         let new_head = self.logs[slice].head();
@@ -825,6 +886,16 @@ impl MemoryController {
             for (slice, log) in self.logs.iter().enumerate() {
                 for stored in log.records() {
                     ht.state ^= hash_record(slice, stored);
+                }
+            }
+        }
+        if self.meta_trace.is_some() {
+            for slice in 0..self.logs.len() {
+                let offsets: Vec<u64> = self.logs[slice].records().map(|s| s.offset).collect();
+                if !offsets.is_empty() {
+                    if let Some(mt) = &mut self.meta_trace {
+                        mt.push(PersistEventMeta::Truncate { slice, offsets });
+                    }
                 }
             }
         }
@@ -1413,5 +1484,79 @@ mod tests {
         // Clearing the log after the crash XORs everything back out.
         m.clear_log();
         assert_eq!(m.log_region().records().count(), 0);
+    }
+
+    /// Regression guard for the checker's equivalence pruning: two
+    /// consecutive persist events that would sample identically (a silent
+    /// data rewrite) must NOT sample identically when a log truncation ran
+    /// between them — the crash states straddle a head-pointer move, so
+    /// pruning the later point would skip a genuinely new recovery input.
+    #[test]
+    fn truncation_between_identical_samples_blocks_pruning() {
+        let mut m = mc();
+        m.enable_persist_hash();
+        let base = m.map().data_base().line().index();
+        let mut d = LineData::zeroed();
+        d.set_word(0, 7);
+        m.try_append_log(LogRecord::undo_redo(key(), Addr::new(0x40), 1, 2, 0xFF), 0)
+            .unwrap();
+        assert!(m.try_write_data(LineAddr::from_index(base), d, 0));
+        // Control: a silent rewrite with no intervening truncation repeats
+        // the sample (this is the pair pruning exists for).
+        assert!(m.try_write_data(LineAddr::from_index(base), d, 0));
+        let s = m.persist_hash_samples().to_vec();
+        assert_eq!(s[1], s[2], "silent rewrite repeats the sample");
+        // Now truncate the log, then rewrite silently again: the samples
+        // bracketing the truncation must differ even though the data-line
+        // event itself changed nothing.
+        m.truncate_log(m.log_region().tail());
+        assert!(m.try_write_data(LineAddr::from_index(base), d, 0));
+        let s = m.persist_hash_samples().to_vec();
+        assert_ne!(
+            s[2], s[3],
+            "a truncation between identical samples must block pruning"
+        );
+    }
+
+    #[test]
+    fn persist_meta_records_kinds_changes_and_truncations() {
+        let mut m = mc();
+        m.enable_persist_meta();
+        let base = m.map().data_base().line().index();
+        let mut d = LineData::zeroed();
+        d.set_word(0, 7);
+        d.set_word(3, 9);
+        assert!(m.try_write_data(LineAddr::from_index(base), d, 0));
+        assert!(m.try_write_data(LineAddr::from_index(base), d, 0));
+        let ur = m
+            .try_append_log(LogRecord::undo_redo(key(), Addr::new(0x40), 1, 2, 0xFF), 0)
+            .unwrap();
+        m.try_append_log(LogRecord::commit(key(), Some(1)), 0)
+            .unwrap();
+        m.truncate_log(m.log_region().tail());
+        let meta = m.persist_event_meta().to_vec();
+        assert_eq!(meta.len(), 5);
+        assert!(
+            matches!(meta[0], PersistEventMeta::Data { changed, .. } if changed == 0b0000_1001),
+            "changed-word mask tracks the diff: {:?}",
+            meta[0]
+        );
+        assert!(
+            matches!(meta[1], PersistEventMeta::Data { changed: 0, .. }),
+            "silent rewrite records an empty mask: {:?}",
+            meta[1]
+        );
+        assert_eq!(meta[2].kind(), Some(PersistEventKind::UndoRedo));
+        assert_eq!(meta[3].kind(), Some(PersistEventKind::Commit));
+        match &meta[4] {
+            PersistEventMeta::Truncate { slice: 0, offsets } => {
+                assert!(offsets.contains(&ur.offset));
+                assert_eq!(offsets.len(), 2);
+            }
+            other => panic!("expected truncation marker, got {other:?}"),
+        }
+        // DRAM writes are volatile: no meta entry.
+        assert!(m.try_write_data(LineAddr::from_index(1), d, 1));
+        assert_eq!(m.persist_event_meta().len(), 5);
     }
 }

@@ -109,6 +109,14 @@ pub enum CheckMutation {
     /// (§III-C): the commit record under-reports how many post-commit
     /// redo entries the transaction still owes the log.
     SkipUlogBump,
+    /// Skews every redo-only log entry's data word by one: the program
+    /// observes correct values, but recovery rolls winners forward to a
+    /// different state than a faithful implementation of the same spec.
+    /// This is the seeded spec-divergence target for the differential
+    /// checker — two designs crash-recovered at matched persist progress
+    /// must agree on program-visible state, and this sabotage makes them
+    /// disagree.
+    SkewRedoValue,
 }
 
 impl CheckMutation {
@@ -118,6 +126,7 @@ impl CheckMutation {
             CheckMutation::None => "none",
             CheckMutation::DropUndoFence => "drop-undo-fence",
             CheckMutation::SkipUlogBump => "skip-ulog-bump",
+            CheckMutation::SkewRedoValue => "skew-redo-value",
         }
     }
 }

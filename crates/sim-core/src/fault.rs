@@ -287,6 +287,89 @@ impl FaultPlan {
     }
 }
 
+/// The fault families a fuzz campaign composes with a sampled crash point.
+///
+/// Each variant derives a [`FaultPlan`] keyed to the crash point with the
+/// same SplitMix64 site mixing the exhaustive explorer uses for its torn
+/// variant, so a campaign item `(point, variant)` is replayable from the
+/// campaign seed alone — sharding and execution order never change which
+/// fault lands where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultVariantKind {
+    /// No fault plan: the crash alone.
+    Base,
+    /// One in-flight log slot loses a suffix of its data words in the ADR
+    /// flush (tear forced; the roll picks *which* slot).
+    Torn,
+    /// One crash-time bit flip on an in-flight data word (escapes
+    /// write-verify; recovery's CRC must catch it).
+    CrashFlip,
+    /// Early wear-out: log slots stick after a handful of programs, forcing
+    /// write-verify retries and remaps before the crash.
+    StuckAt,
+}
+
+impl FaultVariantKind {
+    /// Every variant, in the order campaigns cycle through them.
+    pub const ALL: [FaultVariantKind; 4] = [
+        FaultVariantKind::Base,
+        FaultVariantKind::Torn,
+        FaultVariantKind::CrashFlip,
+        FaultVariantKind::StuckAt,
+    ];
+
+    /// Stable label for reports and JSON records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultVariantKind::Base => "base",
+            FaultVariantKind::Torn => "torn",
+            FaultVariantKind::CrashFlip => "flip",
+            FaultVariantKind::StuckAt => "stuck",
+        }
+    }
+
+    /// Dense index into [`FaultVariantKind::ALL`] (sort key for
+    /// deterministic report ordering).
+    pub fn index(&self) -> usize {
+        match self {
+            FaultVariantKind::Base => 0,
+            FaultVariantKind::Torn => 1,
+            FaultVariantKind::CrashFlip => 2,
+            FaultVariantKind::StuckAt => 3,
+        }
+    }
+
+    /// The point-keyed seed shared by every variant's plan (and by the
+    /// exhaustive explorer's `torn_plan_for`).
+    pub fn point_seed(fault_seed: u64, point: u64) -> u64 {
+        fault_seed ^ point.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Builds this variant's fault plan for one crash point; `None` for
+    /// [`FaultVariantKind::Base`].
+    pub fn plan_for(&self, fault_seed: u64, point: u64) -> Option<FaultPlan> {
+        let seed = Self::point_seed(fault_seed, point);
+        match self {
+            FaultVariantKind::Base => None,
+            FaultVariantKind::Torn => {
+                let mut plan = FaultPlan::single_torn(seed);
+                // Tear unconditionally (budget still 1): the interesting
+                // roll is *which* in-flight slot tears, not whether one does.
+                plan.torn_drain_per_mille = 1000;
+                Some(plan)
+            }
+            FaultVariantKind::CrashFlip => {
+                let mut plan = FaultPlan::single_crash_flip(seed);
+                // Flip eagerly for the same reason; per-cell TLC-state
+                // weighting still decides the victim bit.
+                plan.crash_flip_per_mille = 400;
+                Some(plan)
+            }
+            FaultVariantKind::StuckAt => Some(FaultPlan::worn_slots(seed, 24)),
+        }
+    }
+}
+
 /// CRC-32 (IEEE 802.3, reflected) over a slice of 64-bit words, taken
 /// little-endian byte order. This is the integrity footprint sealed into
 /// every log record; recovery recomputes it to classify records as valid
@@ -437,6 +520,31 @@ mod tests {
     fn crc_sensitive_to_order_and_length() {
         assert_ne!(crc32_words(&[1, 2]), crc32_words(&[2, 1]));
         assert_ne!(crc32_words(&[0]), crc32_words(&[0, 0]));
+    }
+
+    #[test]
+    fn variant_plans_are_point_keyed() {
+        for v in FaultVariantKind::ALL {
+            let a = v.plan_for(42, 3);
+            let b = v.plan_for(42, 4);
+            match v {
+                FaultVariantKind::Base => assert!(a.is_none() && b.is_none()),
+                _ => {
+                    let (a, b) = (a.unwrap(), b.unwrap());
+                    assert!(a.is_active() && b.is_active());
+                    assert_ne!(a.seed, b.seed, "{}", v.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variant_indices_are_dense_and_labels_stable() {
+        for (i, v) in FaultVariantKind::ALL.iter().enumerate() {
+            assert_eq!(v.index(), i);
+        }
+        let labels: Vec<&str> = FaultVariantKind::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(labels, ["base", "torn", "flip", "stuck"]);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod config;
 pub mod fault;
 pub mod ids;
 pub mod metrics;
+pub mod persist;
 pub mod rng;
 pub mod stats;
 pub mod timing;
@@ -38,10 +39,11 @@ pub use config::{
     CacheLevelConfig, CheckMutation, CoreConfig, DesignKind, HierarchyConfig, LogConfig, MemConfig,
     MetricsConfig, SystemConfig, TraceConfig,
 };
-pub use fault::FaultPlan;
-pub use ids::{ThreadId, TxId};
+pub use fault::{FaultPlan, FaultVariantKind};
+pub use ids::{ThreadId, TxId, TxKey};
 pub use metrics::{CommitLatency, Histogram, LogWriteMetrics, MetricsSet, Series, SeriesSet};
+pub use persist::{PersistEventKind, PersistEventMeta};
 pub use rng::DetRng;
-pub use stats::{CheckStats, SimStats};
+pub use stats::{CheckStats, FuzzStats, SimStats};
 pub use timing::{Cycle, Frequency, NanoSeconds, PicoJoules};
 pub use types::{Addr, LineAddr, LineData, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};

@@ -375,6 +375,47 @@ impl CheckStats {
     }
 }
 
+/// Coverage counters of one coverage-guided random crash campaign
+/// (`crates/checker` fuzz mode). Invariants the results validator checks:
+/// `executed + pruned == sampled` and `verified + failures == executed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuzzStats {
+    /// Persist events in the reference schedule (the sampling universe is
+    /// crash points `0..=events`).
+    pub events: u64,
+    /// Campaign items after dedup: base draws plus the neighborhood points
+    /// queued around novel-coverage hits, each paired with its fault
+    /// variant.
+    pub sampled: u64,
+    /// Draws whose `(event kind, progress phase)` coverage bucket had never
+    /// been seen before in this campaign (these trigger neighborhood
+    /// resampling).
+    pub novel: u64,
+    /// Sampled items skipped because the persist-domain state hash did not
+    /// change at their crash point (equivalence pruning, as in the
+    /// exhaustive mode).
+    pub pruned: u64,
+    /// Items actually replayed, crashed and recovered.
+    pub executed: u64,
+    /// Replays whose recovery the oracle verified.
+    pub verified: u64,
+    /// Verification failures (counterexamples found).
+    pub failures: u64,
+}
+
+impl FuzzStats {
+    /// Adds another campaign's counters into this one.
+    pub fn merge(&mut self, other: &FuzzStats) {
+        self.events += other.events;
+        self.sampled += other.sampled;
+        self.novel += other.novel;
+        self.pruned += other.pruned;
+        self.executed += other.executed;
+        self.verified += other.verified;
+        self.failures += other.failures;
+    }
+}
+
 /// Geometric mean of a series of ratios (the paper reports Gmean bars).
 ///
 /// Returns `None` for an empty series or if any value is non-positive.

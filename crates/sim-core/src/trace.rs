@@ -147,6 +147,9 @@ pub enum RecoveryStepTag {
     RollBack,
     /// Recovery finished and the log was cleared.
     Done,
+    /// Recovery was cut short by a second crash mid-replay; the log region
+    /// is intact and another pass must run.
+    Interrupted,
 }
 
 impl RecoveryStepTag {
@@ -158,6 +161,7 @@ impl RecoveryStepTag {
             RecoveryStepTag::RollForward => "roll_forward",
             RecoveryStepTag::RollBack => "roll_back",
             RecoveryStepTag::Done => "done",
+            RecoveryStepTag::Interrupted => "interrupted",
         }
     }
 }

@@ -26,7 +26,7 @@
 //!
 //! [`System::verify_recovery`]: crate::system::System::verify_recovery
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use morlog_logging::recovery::RecoveryReport;
 use morlog_nvm::controller::MemoryController;
@@ -108,8 +108,10 @@ impl Oracle {
 
         // Group transactions per thread, preserving program order. Threads
         // write disjoint addresses (isolation via partitioning, §III-A), so
-        // each thread verifies independently.
-        let mut per_thread: HashMap<ThreadId, Vec<&OracleTx>> = HashMap::new();
+        // each thread verifies independently. Ordered map: when several
+        // threads are violated, the reported one must not depend on hash
+        // iteration order (counterexample details are diffed across runs).
+        let mut per_thread: BTreeMap<ThreadId, Vec<&OracleTx>> = BTreeMap::new();
         for tx in &self.txs {
             per_thread.entry(tx.key.thread).or_default().push(tx);
         }

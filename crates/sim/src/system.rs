@@ -768,6 +768,19 @@ impl System {
         self.mc.persist_hash_samples()
     }
 
+    /// Starts persist-event metadata recording (the checker's
+    /// partial-order-reduction reference run). Call before
+    /// [`run`](System::run).
+    pub fn enable_persist_meta(&mut self) {
+        self.mc.enable_persist_meta();
+    }
+
+    /// Recorded persist-event metadata stream (empty unless recording was
+    /// enabled via [`enable_persist_meta`](System::enable_persist_meta)).
+    pub fn persist_event_meta(&self) -> &[morlog_sim_core::persist::PersistEventMeta] {
+        self.mc.persist_event_meta()
+    }
+
     /// Arms a persist-event crash point (see
     /// [`MemoryController::arm_crash_at`]); drive the run with
     /// [`run_until_crash_point`](System::run_until_crash_point).
@@ -838,6 +851,17 @@ impl System {
     /// Runs the §III-E recovery routine over the surviving log ring.
     pub fn recover(&mut self) -> RecoveryReport {
         recover(&mut self.mc, self.cfg.design.delay_persistence())
+    }
+
+    /// Runs recovery but loses power again after `apply_budget` replay
+    /// writes (double-crash modelling). The log survives an interrupted
+    /// pass, so a later [`recover`](System::recover) can finish the job.
+    pub fn recover_interrupted(&mut self, apply_budget: usize) -> RecoveryReport {
+        morlog_logging::recovery::recover_interrupted(
+            &mut self.mc,
+            self.cfg.design.delay_persistence(),
+            apply_budget,
+        )
     }
 
     /// Checks atomic persistence against the oracle after crash+recovery.
